@@ -1,0 +1,54 @@
+package ugache_test
+
+import (
+	"testing"
+
+	"ugache/internal/bench"
+)
+
+// benchOptions keeps the testing.B benchmarks fast: tiny dataset scale and
+// the trimmed Quick configuration matrix. The full-scale regeneration of
+// every table and figure is cmd/ugache-bench (see EXPERIMENTS.md).
+func benchOptions() bench.Options {
+	return bench.Options{Scale: 0.04, Iters: 2, Seed: 42, Quick: true}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		// Reset memoization so every iteration exercises the full pipeline
+		// (dataset generation, profiling, solving, simulation).
+		bench.ResetCaches()
+		if _, err := bench.Run(name, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure (see DESIGN.md §4 for the index).
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkFigure2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkSummary(b *testing.B)  { benchExperiment(b, "summary") }
+
+// Design-choice ablations (DESIGN.md §5).
+
+func BenchmarkAblateBlocks(b *testing.B)     { benchExperiment(b, "ablate-blocks") }
+func BenchmarkAblatePolicies(b *testing.B)   { benchExperiment(b, "ablate-policies") }
+func BenchmarkAblateDedication(b *testing.B) { benchExperiment(b, "ablate-dedication") }
+func BenchmarkAblatePadding(b *testing.B)    { benchExperiment(b, "ablate-padding") }
+func BenchmarkAblateHotness(b *testing.B)    { benchExperiment(b, "ablate-hotness") }
+func BenchmarkAblateDispatch(b *testing.B)   { benchExperiment(b, "ablate-dispatch") }

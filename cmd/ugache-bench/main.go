@@ -1,0 +1,65 @@
+// ugache-bench regenerates the paper's tables and figures on the simulated
+// platforms.
+//
+// Usage:
+//
+//	ugache-bench -exp fig10,fig11          # specific experiments
+//	ugache-bench -exp all -scale 1.0       # everything at full stand-in scale
+//	ugache-bench -list                     # list experiments
+//
+// Full-scale runs (-scale 1.0) regenerate the 1/100-scale dataset stand-ins
+// and take minutes; -scale 0.1 is a good smoke-test size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ugache/internal/bench"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		scale = flag.Float64("scale", 0.25, "dataset scale multiplier (1.0 = full stand-in scale)")
+		iters = flag.Int("iters", 3, "measured iterations per configuration")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		quick = flag.Bool("quick", false, "trim the configuration matrix")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		names := bench.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-18s %s\n", n, bench.Registry[n].Brief)
+		}
+		return
+	}
+
+	names := bench.Names()
+	if *exps != "all" {
+		names = strings.Split(*exps, ",")
+	}
+	opt := bench.Options{Scale: *scale, Iters: *iters, Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		t0 := time.Now()
+		res, err := bench.Run(name, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ugache-bench: %s: %v\n", name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("### %s (%.1fs)\n\n%s\n", name, time.Since(t0).Seconds(), res.Text)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

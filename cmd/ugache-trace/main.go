@@ -1,0 +1,95 @@
+// ugache-trace generates, inspects, and replays DLR key traces so identical
+// access streams can be fed to different systems.
+//
+// Usage:
+//
+//	ugache-trace -gen trace.bin -dataset SYN-A -batches 64 -batch 8192
+//	ugache-trace -info trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ugache/internal/workload"
+)
+
+func main() {
+	var (
+		gen     = flag.String("gen", "", "write a trace to this file")
+		info    = flag.String("info", "", "print a trace's summary")
+		dataset = flag.String("dataset", "SYN-A", "CR, SYN-A, or SYN-B")
+		scale   = flag.Float64("scale", 0.25, "dataset scale")
+		batches = flag.Int("batches", 64, "number of batches")
+		batch   = flag.Int("batch", 8192, "inference samples per batch")
+		seed    = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		var spec workload.DLRSpec
+		switch *dataset {
+		case "CR":
+			spec = workload.CR
+		case "SYN-A":
+			spec = workload.SYNA
+		case "SYN-B":
+			spec = workload.SYNB
+		default:
+			fatal("unknown dataset %q", *dataset)
+		}
+		ds, err := spec.Build(*scale, *seed)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tr := workload.Record(ds.NumEntries(), *batches, func() []int64 {
+			return ds.GenBatch(*batch)
+		})
+		f, err := os.Create(*gen)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := tr.Save(f); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %d batches (%d keys each) over %d entries to %s\n",
+			len(tr.Batches), len(tr.Batches[0]), tr.NumEntries, *gen)
+
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		tr, err := workload.LoadTrace(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		hot, err := workload.ProfileBatches(tr.NumEntries, tr.Batches)
+		if err != nil {
+			fatal("%v", err)
+		}
+		total := 0
+		for _, b := range tr.Batches {
+			total += len(b)
+		}
+		fmt.Printf("%s: %d batches, %d keys total, %d entries\n",
+			*info, len(tr.Batches), total, tr.NumEntries)
+		for _, frac := range []float64{0.001, 0.01, 0.1} {
+			fmt.Printf("  top %5.1f%% of entries cover %5.1f%% of accesses\n",
+				frac*100, hot.TopShare(frac)*100)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ugache-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Bandwidth profile: regenerate the paper's Fig. 6 microbenchmark with the
+// public API — the achieved bandwidth of one GPU extracting from host,
+// local, and remote memory as the dedicated core count grows, plus the
+// NVSwitch multi-reader collision.
+//
+//	go run ./examples/bandwidth_profile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ugache"
+)
+
+func main() {
+	for _, p := range []*ugache.Platform{ugache.ServerA(), ugache.ServerC()} {
+		fmt.Printf("%s (%d SMs per GPU)\n", p.Name, p.GPU.SMs)
+		counts := []int{1, 2, 4, 8, 16, 32, 48, 64, 80}
+		if p.GPU.SMs > 80 {
+			counts = append(counts, 96, 108)
+		}
+		fmt.Printf("  %-6s %12s %12s %12s\n", "cores", "CPU GB/s", "local GB/s", "remote GB/s")
+		for _, c := range counts {
+			host, err := p.ProfileBandwidth(0, p.Host(), []int{c})
+			if err != nil {
+				log.Fatal(err)
+			}
+			local, err := p.ProfileBandwidth(0, 0, []int{c})
+			if err != nil {
+				log.Fatal(err)
+			}
+			remote, err := p.ProfileBandwidth(0, 1, []int{c})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6d %12.1f %12.1f %12.1f\n",
+				c, host[0].Bandwidth/1e9, local[0].Bandwidth/1e9, remote[0].Bandwidth/1e9)
+		}
+		fmt.Println()
+	}
+
+	// Fig. 6(b) right: concurrent readers collide on a source's outbound
+	// NVSwitch port.
+	c := ugache.ServerC()
+	fmt.Println("NVSwitch collision (readers of GPU 4, full cores each):")
+	for n := 1; n <= 4; n++ {
+		readers := make([]int, n)
+		for i := range readers {
+			readers[i] = i // GPUs 0..n-1
+		}
+		bw, err := c.ProfileMultiReader(4, readers, c.GPU.SMs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d readers: %.0f GB/s each\n", n, bw[0]/1e9)
+	}
+}

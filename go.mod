@@ -1,0 +1,3 @@
+module ugache
+
+go 1.22

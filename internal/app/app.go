@@ -1,0 +1,107 @@
+// Package app builds the two EmbDL applications of the evaluation — GNN
+// training and DLR inference — on top of the core cache system, with the
+// per-iteration accounting (sampling, host queues, extraction, eviction
+// overhead, dense compute) that the end-to-end figures report.
+package app
+
+import (
+	"fmt"
+
+	"ugache/internal/platform"
+)
+
+// MemoryModel derives per-GPU cache capacity from (scaled) GPU memory the
+// way the evaluation does: datasets are built at 1/100 of the paper's
+// sizes, so GPU memory is scaled by the same factor and a fixed fraction is
+// reserved for workspace (activations, buffers; the paper instead shrinks
+// batch sizes on small GPUs, §8.1).
+type MemoryModel struct {
+	// MemScale scales the physical GPU memory (default 0.01, matching the
+	// 1/100-scale datasets).
+	MemScale float64
+	// WorkspaceFrac is reserved for activations and buffers (default 0.25).
+	WorkspaceFrac float64
+}
+
+// DefaultMemoryModel matches the stock 1/100-scale datasets.
+func DefaultMemoryModel() MemoryModel {
+	return MemoryModel{MemScale: 0.01, WorkspaceFrac: 0.25}
+}
+
+func (m MemoryModel) normalize() MemoryModel {
+	if m.MemScale <= 0 {
+		m.MemScale = 0.01
+	}
+	if m.WorkspaceFrac <= 0 || m.WorkspaceFrac >= 1 {
+		m.WorkspaceFrac = 0.25
+	}
+	return m
+}
+
+// CapacityEntries returns the cache capacity of one GPU in embedding
+// entries, after reserving workspace and any co-resident bytes (graph
+// topology for GNN systems that store it on the GPU).
+func (m MemoryModel) CapacityEntries(p *platform.Platform, entryBytes int, residentBytes int64) int64 {
+	m = m.normalize()
+	budget := int64(float64(p.GPU.MemBytes)*m.MemScale*(1-m.WorkspaceFrac)) - residentBytes
+	if budget < 0 {
+		budget = 0
+	}
+	return budget / int64(entryBytes)
+}
+
+// Breakdown is the per-iteration time split, in seconds.
+type Breakdown struct {
+	Sample   float64 // graph sampling (inline portion)
+	Queue    float64 // host-queue transfer of samples (GNNLab)
+	Extract  float64 // embedding extraction
+	Eviction float64 // online cache maintenance (HPS)
+	Dense    float64 // MLP/GNN compute
+}
+
+// Iter returns the total iteration time.
+func (b Breakdown) Iter() float64 {
+	return b.Sample + b.Queue + b.Extract + b.Eviction + b.Dense
+}
+
+// Report summarizes a run.
+type Report struct {
+	System     string
+	App        string // "gnn" or "dlr"
+	Dataset    string
+	Platform   string
+	Iterations int
+	// PerIter is the mean per-iteration breakdown.
+	PerIter Breakdown
+	// EpochSeconds extrapolates one full epoch (GNN) from the measured
+	// iterations; for DLR it equals PerIter.Iter().
+	EpochSeconds float64
+	// EpochIters is the iteration count of a full epoch (GNN).
+	EpochIters int
+	// CapacityEntries is the per-GPU cache size used.
+	CapacityEntries int64
+	// CacheRatio is capacity over total entries.
+	CacheRatio float64
+	// UniqueKeysPerIter is the mean unique keys extracted per GPU.
+	UniqueKeysPerIter float64
+	// HitLocal/HitRemote/HitHost are measured access fractions (bytes).
+	HitLocal, HitRemote, HitHost float64
+	// LinkUtilPCIe / LinkUtilNVLink are mean utilizations during
+	// extraction (Fig. 13).
+	LinkUtilPCIe, LinkUtilNVLink float64
+}
+
+// SampleRate is the modelled GPU graph-sampling throughput in adjacency
+// entries per second (GPU-based neighbour sampling à la WholeGraph).
+const SampleRate = 600e6
+
+// validateCommon checks shared config fields.
+func validateCommon(p *platform.Platform, batch int) error {
+	if p == nil {
+		return fmt.Errorf("app: platform is required")
+	}
+	if batch <= 0 {
+		return fmt.Errorf("app: batch size must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"testing"
+
+	"ugache/internal/extract"
+	"ugache/internal/platform"
+	"ugache/internal/solver"
+)
+
+func TestSpecsComposition(t *testing.T) {
+	if GNNLab.Policy.Name() != "replication" || !GNNLab.DedicatedSamplers {
+		t.Fatal("GNNLab spec wrong")
+	}
+	if WholeGraph.Policy.Name() != "partition" || !WholeGraph.RequiresFullFit {
+		t.Fatal("WholeGraph spec wrong")
+	}
+	if PartU.Policy.Name() != "clique-partition" {
+		t.Fatal("PartU spec wrong")
+	}
+	if HPS.EvictionFactor <= 1 || HPS.EvictionPerKey <= 0 {
+		t.Fatal("HPS eviction overheads missing")
+	}
+	if SOK.Mechanism != extract.MessageBased {
+		t.Fatal("SOK mechanism wrong")
+	}
+	if UGache.Mechanism != extract.Factored || UGache.Policy.Name() != "ugache" {
+		t.Fatal("UGache spec wrong")
+	}
+	if len(GNNSystems) != 3 || len(DLRSystems) != 3 {
+		t.Fatal("registries wrong")
+	}
+}
+
+func TestLaunchable(t *testing.T) {
+	b := platform.ServerB()
+	c := platform.ServerC()
+	if err := WholeGraph.Launchable(b, 100, 100); err == nil {
+		t.Fatal("WholeGraph launched on DGX-1")
+	}
+	if err := WholeGraph.Launchable(c, 1000, 10); err == nil {
+		t.Fatal("WholeGraph launched without fit")
+	}
+	if err := WholeGraph.Launchable(c, 1000, 125); err != nil {
+		t.Fatalf("WholeGraph should launch when fitting: %v", err)
+	}
+	if err := PartU.Launchable(b, 1<<40, 10); err != nil {
+		t.Fatalf("PartU must always launch: %v", err)
+	}
+}
+
+func TestWithModifiers(t *testing.T) {
+	s := PartU.WithMechanism(extract.Factored)
+	if s.Mechanism != extract.Factored || s.Name == PartU.Name {
+		t.Fatal("WithMechanism broken")
+	}
+	s2 := RepU.WithPolicy(solver.UGache{})
+	if s2.Policy.Name() != "ugache" || s2.Name == RepU.Name {
+		t.Fatal("WithPolicy broken")
+	}
+	// Originals untouched.
+	if PartU.Mechanism != extract.PeerRandom || RepU.Policy.Name() != "replication" {
+		t.Fatal("modifiers mutated the originals")
+	}
+}

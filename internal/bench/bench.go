@@ -1,0 +1,163 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§8) on the simulated platforms. Each experiment is a function
+// from Options to a rendered Result; the cmd/ugache-bench binary and the
+// root bench_test.go both dispatch through the Registry.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator and
+// the datasets are 1/100-scale stand-ins); the reproduced quantity is the
+// shape: which system wins, by roughly what factor, and where crossovers
+// fall. EXPERIMENTS.md records paper-vs-measured for every experiment.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ugache/internal/graph"
+	"ugache/internal/platform"
+	"ugache/internal/workload"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale multiplies the stock datasets (which are already 1/100 of the
+	// paper's). 1.0 regenerates the full stand-ins; tests use ~0.05.
+	Scale float64
+	// Iters is the measured iterations per configuration (default 3, as in
+	// the paper's three-run averages).
+	Iters int
+	// Seed feeds all generators.
+	Seed uint64
+	// Quick trims the configuration matrix for fast runs.
+	Quick bool
+}
+
+func (o Options) normalize() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Iters <= 0 {
+		o.Iters = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// memScale converts the dataset scale into the memory-model scale: stock
+// datasets are 1/100 of the paper's, so GPU memory scales by Scale/100.
+func (o Options) memScale() float64 {
+	return 0.01 * o.Scale
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	Name string
+	Text string
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	Name  string
+	Brief string
+	Run   func(Options) (*Result, error)
+}
+
+// Registry maps experiment names (table1, fig2, ...) to runners; Names
+// returns them sorted.
+var Registry = map[string]Experiment{}
+
+func register(name, brief string, run func(Options) (*Result, error)) {
+	Registry[name] = Experiment{Name: name, Brief: brief, Run: run}
+}
+
+// Names lists registered experiments sorted by name.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for n := range Registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResetCaches clears the dataset and report memoization. Benchmarks call
+// it between iterations so repeat runs measure the real pipeline rather
+// than cache hits.
+func ResetCaches() {
+	gnnCacheMu.Lock()
+	gnnCache = map[string]*graph.Dataset{}
+	gnnCacheMu.Unlock()
+	dlrCacheMu.Lock()
+	dlrCache = map[string]*workload.DLRDataset{}
+	dlrCacheMu.Unlock()
+	resetReportCache()
+}
+
+// Run executes one experiment by name.
+func Run(name string, opt Options) (*Result, error) {
+	exp, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	return exp.Run(opt.normalize())
+}
+
+// serverSet returns the evaluation platforms, trimmed under Quick.
+func serverSet(o Options) []*platform.Platform {
+	if o.Quick {
+		return []*platform.Platform{platform.ServerC()}
+	}
+	return []*platform.Platform{platform.ServerA(), platform.ServerB(), platform.ServerC()}
+}
+
+// Dataset caches: generation dominates setup cost, and every figure wants
+// the same graphs.
+var (
+	gnnCacheMu sync.Mutex
+	gnnCache   = map[string]*graph.Dataset{}
+	dlrCacheMu sync.Mutex
+	dlrCache   = map[string]*workload.DLRDataset{}
+)
+
+func gnnDataset(spec graph.DatasetSpec, o Options) (*graph.Dataset, error) {
+	key := fmt.Sprintf("%s/%g/%d", spec.Name, o.Scale, o.Seed)
+	gnnCacheMu.Lock()
+	defer gnnCacheMu.Unlock()
+	if d, ok := gnnCache[key]; ok {
+		return d, nil
+	}
+	d, err := spec.Build(o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gnnCache[key] = d
+	return d, nil
+}
+
+func dlrDataset(spec workload.DLRSpec, o Options) (*workload.DLRDataset, error) {
+	key := fmt.Sprintf("%s/%g/%d", spec.Name, o.Scale, o.Seed)
+	dlrCacheMu.Lock()
+	defer dlrCacheMu.Unlock()
+	if d, ok := dlrCache[key]; ok {
+		return d, nil
+	}
+	d, err := spec.Build(o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dlrCache[key] = d
+	return d, nil
+}
+
+// fmtMS renders seconds as milliseconds.
+func fmtMS(sec float64) string { return fmt.Sprintf("%.3f", sec*1e3) }
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// fmtGB renders bytes as GB.
+func fmtGB(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }

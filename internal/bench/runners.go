@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"ugache/internal/app"
+	"ugache/internal/baselines"
+	"ugache/internal/graph"
+	"ugache/internal/platform"
+	"ugache/internal/workload"
+)
+
+// Reports are deterministic in their full configuration, and fig10, fig11
+// and the summary share the same configuration matrix — cache them.
+var (
+	reportMu    sync.Mutex
+	reportCache = map[string]*app.Report{}
+)
+
+func resetReportCache() {
+	reportMu.Lock()
+	reportCache = map[string]*app.Report{}
+	reportMu.Unlock()
+}
+
+func cachedReport(key string, run func() (*app.Report, error)) (*app.Report, error) {
+	reportMu.Lock()
+	if r, ok := reportCache[key]; ok {
+		reportMu.Unlock()
+		return r, nil
+	}
+	reportMu.Unlock()
+	r, err := run()
+	if err != nil {
+		return nil, err
+	}
+	reportMu.Lock()
+	reportCache[key] = r
+	reportMu.Unlock()
+	return r, nil
+}
+
+// runGNN builds and measures one GNN configuration. ratio == 0 derives the
+// cache capacity from the (scaled) memory model, as the end-to-end figures
+// do; ratio > 0 pins it, as the sweep figures do.
+func runGNN(o Options, p *platform.Platform, spec baselines.Spec, dsSpec graph.DatasetSpec,
+	model string, supervised bool, ratio float64) (*app.Report, error) {
+	key := fmt.Sprintf("gnn/%s/%s/%s/%s/%s/%v/%g/%g/%d/%d",
+		p.Name, spec.Name, spec.Mechanism, dsSpec.Name, model, supervised, ratio, o.Scale, o.Iters, o.Seed)
+	return cachedReport(key, func() (*app.Report, error) {
+		return runGNNUncached(o, p, spec, dsSpec, model, supervised, ratio)
+	})
+}
+
+func runGNNUncached(o Options, p *platform.Platform, spec baselines.Spec, dsSpec graph.DatasetSpec,
+	model string, supervised bool, ratio float64) (*app.Report, error) {
+	ds, err := gnnDataset(dsSpec, o)
+	if err != nil {
+		return nil, err
+	}
+	a, err := app.NewGNN(app.GNNConfig{
+		P: p, DS: ds, Model: model, Supervised: supervised,
+		BatchSize: gnnBatch(o), Spec: spec, CacheRatio: ratio,
+		Mem:  app.MemoryModel{MemScale: o.memScale()},
+		Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.RunIters(o.Iters)
+}
+
+// runDLR builds and measures one DLR configuration.
+func runDLR(o Options, p *platform.Platform, spec baselines.Spec, dsSpec workload.DLRSpec,
+	model string, ratio float64) (*app.Report, error) {
+	key := fmt.Sprintf("dlr/%s/%s/%s/%s/%s/%g/%g/%d/%d",
+		p.Name, spec.Name, spec.Mechanism, dsSpec.Name, model, ratio, o.Scale, o.Iters, o.Seed)
+	return cachedReport(key, func() (*app.Report, error) {
+		return runDLRUncached(o, p, spec, dsSpec, model, ratio)
+	})
+}
+
+func runDLRUncached(o Options, p *platform.Platform, spec baselines.Spec, dsSpec workload.DLRSpec,
+	model string, ratio float64) (*app.Report, error) {
+	ds, err := dlrDataset(dsSpec, o)
+	if err != nil {
+		return nil, err
+	}
+	a, err := app.NewDLR(app.DLRConfig{
+		P: p, DS: ds, Model: model, BatchSize: dlrBatch(o), Spec: spec,
+		CacheRatio: ratio,
+		Mem:        app.MemoryModel{MemScale: o.memScale()},
+		Seed:       o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.RunIters(o.Iters)
+}
+
+// Batch sizes follow the paper's 8K per GPU, scaled down with the datasets
+// so neighbourhoods keep a comparable coverage of the graph.
+func gnnBatch(o Options) int {
+	b := int(8192 * o.Scale)
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+func dlrBatch(o Options) int {
+	b := int(8192 * o.Scale)
+	if b < 64 {
+		b = 64
+	}
+	return b
+}

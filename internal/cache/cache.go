@@ -1,0 +1,243 @@
+// Package cache holds the runtime cache state of UGache (paper §4, §7):
+// per-GPU hash tables mapping cached keys to <GPU, Offset> source locations,
+// the Filler that materializes a solved placement into simulated GPU
+// memory, the foreground hotness sampler, and the background Refresher that
+// periodically re-solves the policy and applies the diff in small batches
+// with bounded foreground impact (§7.2, Fig. 17).
+package cache
+
+import (
+	"fmt"
+
+	"ugache/internal/hashtable"
+	"ugache/internal/memsim"
+	"ugache/internal/platform"
+	"ugache/internal/solver"
+)
+
+// RowSource supplies embedding rows from (simulated) host memory; both
+// emb.Table and emb.MultiTable implement it.
+type RowSource interface {
+	ReadRow(key int64, dst []byte) error
+}
+
+// GPUCache is one GPU's cache: a flat hash table for locate() plus the
+// memory arena holding cached rows. Refreshes recycle evicted slots through
+// a free list (the arena itself is a bump allocator).
+type GPUCache struct {
+	GPU        int
+	Table      *hashtable.Table
+	Arena      *memsim.Arena
+	EntryBytes int
+	freeSlots  []int64
+}
+
+// allocSlot returns a row slot, reusing freed ones first.
+func (c *GPUCache) allocSlot() (int64, error) {
+	if n := len(c.freeSlots); n > 0 {
+		off := c.freeSlots[n-1]
+		c.freeSlots = c.freeSlots[:n-1]
+		return off, nil
+	}
+	return c.Arena.Alloc(int64(c.EntryBytes))
+}
+
+// evict removes a key and recycles its slot; it reports whether the key was
+// cached.
+func (c *GPUCache) evict(key int64) bool {
+	loc, ok := c.Table.Lookup(key)
+	if !ok {
+		return false
+	}
+	c.Table.Delete(key)
+	c.freeSlots = append(c.freeSlots, loc.Offset)
+	return true
+}
+
+// insert caches a key, copying the row from src in functional mode.
+func (c *GPUCache) insert(key int64, src RowSource, buf []byte) error {
+	off, err := c.allocSlot()
+	if err != nil {
+		return err
+	}
+	if src != nil {
+		if err := src.ReadRow(key, buf); err != nil {
+			return err
+		}
+		if err := c.Arena.Write(off, buf); err != nil {
+			return err
+		}
+	}
+	return c.Table.Insert(key, hashtable.Location{GPU: int32(c.GPU), Offset: off})
+}
+
+// System is the multi-GPU cache state for one placement.
+type System struct {
+	P          *platform.Platform
+	Placement  *solver.Placement
+	Caches     []*GPUCache
+	EntryBytes int
+	space      *memsim.Space
+	source     RowSource // nil in size-only mode
+}
+
+// FillOptions controls Fill.
+type FillOptions struct {
+	// CapacityEntries[g] sizes GPU g's arena; it must cover the
+	// placement's usage.
+	CapacityEntries []int64
+	// Source, when non-nil, enables functional mode: rows are actually
+	// copied into backed arenas so Gather can verify content.
+	Source RowSource
+}
+
+// Fill materializes a placement: for every GPU, each stored block's entries
+// are allocated in the arena and registered in the hash table (the Filler
+// of §4). In functional mode the bytes are copied from the host source.
+func Fill(p *platform.Platform, pl *solver.Placement, opt FillOptions) (*System, error) {
+	if p == nil || pl == nil {
+		return nil, fmt.Errorf("cache: nil platform or placement")
+	}
+	if pl.NumGPUs != p.N {
+		return nil, fmt.Errorf("cache: placement for %d GPUs on %d-GPU platform", pl.NumGPUs, p.N)
+	}
+	if len(opt.CapacityEntries) != p.N {
+		return nil, fmt.Errorf("cache: %d capacities for %d GPUs", len(opt.CapacityEntries), p.N)
+	}
+	eb := pl.EntryBytes
+	sys := &System{P: p, Placement: pl, EntryBytes: eb, source: opt.Source}
+	sys.Caches = make([]*GPUCache, p.N)
+	var err error
+	if opt.Source != nil {
+		var total int64
+		for _, c := range opt.CapacityEntries {
+			if c > total {
+				total = c
+			}
+		}
+		sys.space, err = memsim.NewBackedSpace(p.N, total*int64(eb))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		maxCap := int64(0)
+		for _, c := range opt.CapacityEntries {
+			if c > maxCap {
+				maxCap = c
+			}
+		}
+		sys.space = memsim.NewSpace(p.N, maxCap*int64(eb))
+	}
+	used := pl.CapacityUsed()
+	for g := 0; g < p.N; g++ {
+		if used[g] > opt.CapacityEntries[g] {
+			return nil, fmt.Errorf("cache: gpu %d placement uses %d entries, capacity %d",
+				g, used[g], opt.CapacityEntries[g])
+		}
+		sys.Caches[g] = &GPUCache{
+			GPU:        g,
+			Table:      hashtable.New(int(used[g]) + 16),
+			Arena:      sys.space.GPUs[g],
+			EntryBytes: eb,
+		}
+	}
+	// Insert every stored entry.
+	buf := make([]byte, eb)
+	for bi := range pl.Blocks {
+		b := &pl.Blocks[bi]
+		for g, stored := range b.Store {
+			if !stored {
+				continue
+			}
+			c := sys.Caches[g]
+			for r := b.Start; r < b.End; r++ {
+				key := int64(pl.ByRank[r])
+				off, err := c.Arena.Alloc(int64(eb))
+				if err != nil {
+					return nil, fmt.Errorf("cache: gpu %d: %w", g, err)
+				}
+				if opt.Source != nil {
+					if err := opt.Source.ReadRow(key, buf); err != nil {
+						return nil, err
+					}
+					if err := c.Arena.Write(off, buf); err != nil {
+						return nil, err
+					}
+				}
+				if err := c.Table.Insert(key, hashtable.Location{GPU: int32(g), Offset: off}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return sys, nil
+}
+
+// Locate resolves where GPU dst finds a key: its access-arrangement source
+// and, when that source is a GPU, the concrete <GPU, Offset> location from
+// the owner's hash table (the locate() step of the extract function, §3.2).
+func (s *System) Locate(dst int, key int64) (src platform.SourceID, loc hashtable.Location, err error) {
+	if dst < 0 || dst >= s.P.N {
+		return 0, loc, fmt.Errorf("cache: bad gpu %d", dst)
+	}
+	if key < 0 || key >= s.Placement.NumEntries() {
+		return 0, loc, fmt.Errorf("cache: key %d out of range", key)
+	}
+	src = s.Placement.SourceOf(dst, key)
+	if src == s.P.Host() {
+		return src, loc, nil
+	}
+	l, ok := s.Caches[src].Table.Lookup(key)
+	if !ok {
+		return 0, loc, fmt.Errorf("cache: placement says gpu %d holds key %d but the hashtable disagrees", src, key)
+	}
+	return src, l, nil
+}
+
+// Gather functionally extracts keys for GPU dst into out (len(keys) rows of
+// EntryBytes): cached rows are peer-read from the owning GPU's arena,
+// misses fall back to the host source. Requires functional mode.
+func (s *System) Gather(dst int, keys []int64, out []byte) error {
+	if s.source == nil {
+		return fmt.Errorf("cache: Gather requires functional mode (FillOptions.Source)")
+	}
+	if len(out) < len(keys)*s.EntryBytes {
+		return fmt.Errorf("cache: output buffer %d too small for %d rows", len(out), len(keys))
+	}
+	for i, key := range keys {
+		dstRow := out[i*s.EntryBytes : (i+1)*s.EntryBytes]
+		src, loc, err := s.Locate(dst, key)
+		if err != nil {
+			return err
+		}
+		if src == s.P.Host() {
+			if err := s.source.ReadRow(key, dstRow); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.space.PeerRead(int(src), loc.Offset, dstRow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HitCounts classifies a batch of keys for one GPU (local, remote, host) —
+// the measured counterpart of solver.Placement.Stats.
+func (s *System) HitCounts(dst int, keys []int64) (local, remote, host int, err error) {
+	for _, key := range keys {
+		src, _, err := s.Locate(dst, key)
+		switch {
+		case err != nil:
+			return 0, 0, 0, err
+		case src == s.P.Host():
+			host++
+		case int(src) == dst:
+			local++
+		default:
+			remote++
+		}
+	}
+	return local, remote, host, nil
+}

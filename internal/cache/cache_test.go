@@ -1,0 +1,314 @@
+package cache
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ugache/internal/emb"
+	"ugache/internal/platform"
+	"ugache/internal/rng"
+	"ugache/internal/solver"
+	"ugache/internal/workload"
+)
+
+func testPlacement(t *testing.T, p *platform.Platform, n int, ratio float64) (*solver.Placement, *solver.Input) {
+	t.Helper()
+	r := rng.New(9)
+	perm := r.Perm(n)
+	h := make(workload.Hotness, n)
+	for rank := 0; rank < n; rank++ {
+		h[perm[rank]] = math.Pow(float64(rank+1), -1.1)
+	}
+	caps := make([]int64, p.N)
+	for g := range caps {
+		caps[g] = int64(float64(n) * ratio)
+	}
+	in := &solver.Input{P: p, Hotness: h, EntryBytes: 64, Capacity: caps}
+	pl, err := (solver.UGache{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, in
+}
+
+func TestFillAndLocate(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 4000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every entry of every stored block must be locatable, and Locate must
+	// agree with the placement.
+	for e := int64(0); e < 4000; e += 7 {
+		src, loc, err := sys.Locate(0, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != pl.SourceOf(0, e) {
+			t.Fatalf("Locate source %d, placement %d", src, pl.SourceOf(0, e))
+		}
+		if src != p.Host() && loc.GPU != int32(src) {
+			t.Fatalf("location GPU %d, source %d", loc.GPU, src)
+		}
+	}
+	if _, _, err := sys.Locate(99, 0); err == nil {
+		t.Fatal("bad gpu accepted")
+	}
+	if _, _, err := sys.Locate(0, -1); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func TestFunctionalGatherMatchesTable(t *testing.T) {
+	p := platform.ServerA()
+	pl, in := testPlacement(t, p, 2000, 0.15)
+	table, err := emb.NewMaterialized("t", 2000, 16, emb.Float32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity, Source: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := workload.NewZipf(2000, 1.1)
+	r := rng.New(3)
+	keys := make([]int64, 500)
+	for i := range keys {
+		keys[i] = z.Sample(r)
+	}
+	out := make([]byte, len(keys)*table.EntryBytes())
+	for dst := 0; dst < p.N; dst++ {
+		if err := sys.Gather(dst, keys, out); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, table.EntryBytes())
+		for i, k := range keys {
+			table.ReadRow(k, want)
+			got := out[i*table.EntryBytes() : (i+1)*table.EntryBytes()]
+			if !bytes.Equal(got, want) {
+				t.Fatalf("dst %d key %d: gathered row differs", dst, k)
+			}
+		}
+	}
+}
+
+func TestGatherRequiresFunctionalMode(t *testing.T) {
+	p := platform.ServerA()
+	pl, in := testPlacement(t, p, 1000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Gather(0, []int64{1}, make([]byte, 64)); err == nil {
+		t.Fatal("size-only gather accepted")
+	}
+}
+
+func TestHitCountsMatchPlacementStats(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 4000, 0.08)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]int64, 0, 4000)
+	for e := int64(0); e < 4000; e++ {
+		keys = append(keys, e)
+	}
+	local, remote, host, err := sys.HitCounts(2, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local+remote+host != 4000 {
+		t.Fatal("counts do not sum")
+	}
+	if local == 0 || host == 0 {
+		t.Fatalf("degenerate split %d/%d/%d", local, remote, host)
+	}
+}
+
+func TestFillValidation(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 1000, 0.1)
+	if _, err := Fill(nil, pl, FillOptions{CapacityEntries: in.Capacity}); err == nil {
+		t.Fatal("nil platform accepted")
+	}
+	if _, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity[:3]}); err == nil {
+		t.Fatal("wrong capacity arity accepted")
+	}
+	small := make([]int64, p.N)
+	if _, err := Fill(p, pl, FillOptions{CapacityEntries: small}); err == nil {
+		t.Fatal("undersized capacity accepted")
+	}
+}
+
+func TestHotnessSampler(t *testing.T) {
+	s := NewHotnessSampler(10, 2)
+	s.Observe([]int64{1, 1, 2}) // recorded
+	s.Observe([]int64{3})       // skipped
+	s.Observe([]int64{1})       // recorded
+	if s.Batches() != 2 {
+		t.Fatalf("sampled %d", s.Batches())
+	}
+	h, err := s.Hotness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Presence counting: the duplicate 1 in the first batch counts once.
+	if h[1] != 1 || h[2] != 0.5 || h[3] != 0 {
+		t.Fatalf("hotness %v", h[:4])
+	}
+	empty := NewHotnessSampler(10, 1)
+	if _, err := empty.Hotness(); err == nil {
+		t.Fatal("empty sampler accepted")
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 4000, 0.1)
+	table, err := emb.NewMaterialized("t", 4000, 16, emb.Float32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity, Source: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New hotness: reverse the popularity so the diff is large.
+	h2 := make(workload.Hotness, 4000)
+	for i := range h2 {
+		h2[i] = in.Hotness[4000-1-i]
+	}
+	in2 := *in
+	in2.Hotness = h2
+	pl2, err := (solver.UGache{}).Solve(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 200
+	cfg.UpdateBandwidth = 16 * 200 / 0.050 // 50 ms per update batch
+	base := 0.002
+	rep, err := sys.Refresh(pl2, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EvictedEntries == 0 || rep.InsertedEntries == 0 {
+		t.Fatalf("no diff: %+v", rep)
+	}
+	if rep.Duration <= cfg.SolveSeconds {
+		t.Fatalf("duration %g too small", rep.Duration)
+	}
+	// Impact bounded: never above UpdateImpact, mean below ~12%.
+	for _, st := range rep.Timeline {
+		if st.IterTime > base*cfg.UpdateImpact+1e-12 {
+			t.Fatalf("impact exceeded: %g", st.IterTime)
+		}
+		if st.IterTime < base-1e-12 {
+			t.Fatalf("iteration faster than base: %g", st.IterTime)
+		}
+	}
+	if rep.MeanImpact <= 0 || rep.MeanImpact > 0.15 {
+		t.Fatalf("mean impact %g", rep.MeanImpact)
+	}
+	// Steady state outside the refresh window.
+	if rep.Timeline[0].IterTime != base {
+		t.Fatal("pre-refresh sample not at base")
+	}
+
+	// The system now serves the new placement, and gathers still match.
+	if sys.Placement != pl2 && sys.Placement.Policy == "" {
+		t.Fatal("placement not switched")
+	}
+	keys := []int64{0, 1, 2, 3999}
+	out := make([]byte, len(keys)*table.EntryBytes())
+	if err := sys.Gather(0, keys, out); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, table.EntryBytes())
+	for i, k := range keys {
+		table.ReadRow(k, want)
+		if !bytes.Equal(out[i*table.EntryBytes():(i+1)*table.EntryBytes()], want) {
+			t.Fatalf("post-refresh gather wrong for key %d", k)
+		}
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 1000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Refresh(nil, 1, DefaultRefreshConfig()); err == nil {
+		t.Fatal("nil placement accepted")
+	}
+	if _, err := sys.Refresh(pl, 0, DefaultRefreshConfig()); err == nil {
+		t.Fatal("zero base time accepted")
+	}
+	bad := DefaultRefreshConfig()
+	bad.BatchEntries = 0
+	if _, err := sys.Refresh(pl, 1, bad); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestRepeatedRefreshReusesSlots(t *testing.T) {
+	// Flipping between two placements many times must not grow arena usage:
+	// evicted slots are recycled by the free list.
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 3000, 0.1)
+	table, err := emb.NewMaterialized("t", 3000, 16, emb.Float32, 5) // 64 B rows, matching the placement
+
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity, Source: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := make(workload.Hotness, 3000)
+	for i := range h2 {
+		h2[i] = in.Hotness[3000-1-i]
+	}
+	in2 := *in
+	in2.Hotness = h2
+	pl2, err := (solver.UGache{}).Solve(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 500
+	usedAfterFirst := int64(-1)
+	for round := 0; round < 6; round++ {
+		target := pl2
+		if round%2 == 1 {
+			// Re-solve the original (the Placement object was consumed).
+			target, err = (solver.UGache{}).Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sys.Refresh(target, 0.001, cfg); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		used := sys.Caches[0].Arena.Used()
+		if usedAfterFirst < 0 {
+			usedAfterFirst = used
+		} else if used > usedAfterFirst {
+			t.Fatalf("round %d: arena grew from %d to %d (slots not recycled)",
+				round, usedAfterFirst, used)
+		}
+		// Content still correct.
+		out := make([]byte, 4*table.EntryBytes())
+		if err := sys.Gather(1, []int64{0, 1, 2998, 2999}, out); err != nil {
+			t.Fatalf("round %d gather: %v", round, err)
+		}
+	}
+}

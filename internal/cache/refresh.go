@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"ugache/internal/solver"
+	"ugache/internal/workload"
+)
+
+// HotnessSampler is the foreground sampling of §7.2: input batches are
+// sampled (every Nth batch) and counted on the CPU so the background
+// Refresher can re-evaluate the policy against fresh hotness.
+type HotnessSampler struct {
+	counts  []float64
+	sampled int
+	every   int
+	seen    int
+}
+
+// NewHotnessSampler records every `every`-th batch (min 1).
+func NewHotnessSampler(numEntries int64, every int) *HotnessSampler {
+	if every < 1 {
+		every = 1
+	}
+	return &HotnessSampler{counts: make([]float64, numEntries), every: every}
+}
+
+// Observe feeds one input batch. Keys are counted once per batch
+// (presence), matching how the extractor deduplicates batches.
+func (h *HotnessSampler) Observe(keys []int64) {
+	h.seen++
+	if (h.seen-1)%h.every != 0 {
+		return
+	}
+	h.sampled++
+	seen := make(map[int64]struct{}, len(keys))
+	for _, k := range keys {
+		if k < 0 || k >= int64(len(h.counts)) {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		h.counts[k]++
+	}
+}
+
+// Batches returns how many batches were actually recorded.
+func (h *HotnessSampler) Batches() int { return h.sampled }
+
+// Hotness returns the measured per-entry expected accesses per iteration.
+func (h *HotnessSampler) Hotness() (workload.Hotness, error) {
+	if h.sampled == 0 {
+		return nil, fmt.Errorf("cache: no batches sampled")
+	}
+	out := make(workload.Hotness, len(h.counts))
+	inv := 1 / float64(h.sampled)
+	for i, c := range h.counts {
+		out[i] = c * inv
+	}
+	return out, nil
+}
+
+// RefreshConfig tunes the §7.2 background refresh.
+type RefreshConfig struct {
+	// SolveSeconds is the simulated background policy-solve time (the paper
+	// reports ~10 s for the MILP).
+	SolveSeconds float64
+	// SolveImpact is the foreground slowdown factor while solving on
+	// restricted CPU cores (e.g. 1.02).
+	SolveImpact float64
+	// BatchEntries is the number of cache entries updated per small-batch
+	// step (update granularity).
+	BatchEntries int64
+	// PauseSeconds separates consecutive update batches, bounding
+	// foreground impact.
+	PauseSeconds float64
+	// UpdateImpact is the foreground slowdown factor while an update batch
+	// occupies the GPU (e.g. 1.25; the duty cycle brings the average down
+	// to the paper's ~10%).
+	UpdateImpact float64
+	// UpdateBandwidth is the effective bytes/s for moving cache updates
+	// (host-to-device over PCIe).
+	UpdateBandwidth float64
+	// SamplePeriod is the timeline sampling period in seconds.
+	SamplePeriod float64
+}
+
+// DefaultRefreshConfig mirrors the behaviour in §7.2/Fig. 17: a ~10 s
+// solve, small-batch updates with pauses, ≈10% average foreground impact,
+// and a 20–30 s total duration on the evaluation workloads.
+func DefaultRefreshConfig() RefreshConfig {
+	return RefreshConfig{
+		SolveSeconds:    10,
+		SolveImpact:     1.02,
+		BatchEntries:    50_000,
+		PauseSeconds:    0.25,
+		UpdateImpact:    1.25,
+		UpdateBandwidth: 10e9,
+		SamplePeriod:    0.5,
+	}
+}
+
+// RefreshStep is one timeline sample: foreground iteration time at time T.
+type RefreshStep struct {
+	T        float64 // seconds since the refresh trigger
+	IterTime float64 // seconds per foreground iteration
+}
+
+// RefreshReport summarizes one refresh (Fig. 17).
+type RefreshReport struct {
+	Duration        float64 // seconds from trigger to completion
+	SolveSeconds    float64
+	UpdateSeconds   float64
+	EvictedEntries  int64
+	InsertedEntries int64
+	MeanImpact      float64 // average iteration-time inflation during refresh
+	Timeline        []RefreshStep
+}
+
+// Refresh re-points the system at a new placement, simulating the §7.2
+// procedure: background solve, then eviction/insertion applied in small
+// batches interleaved with foreground batches. baseIterTime is the
+// foreground iteration latency before the refresh (afterIterTime may
+// differ; the timeline uses base during and after — callers re-measure).
+func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg RefreshConfig) (*RefreshReport, error) {
+	if newPl == nil {
+		return nil, fmt.Errorf("cache: nil new placement")
+	}
+	if newPl.NumGPUs != s.P.N || newPl.NumEntries() != s.Placement.NumEntries() {
+		return nil, fmt.Errorf("cache: new placement shape mismatch")
+	}
+	if baseIterTime <= 0 {
+		return nil, fmt.Errorf("cache: baseIterTime must be positive")
+	}
+	if cfg.BatchEntries <= 0 || cfg.UpdateBandwidth <= 0 || cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("cache: invalid refresh config")
+	}
+
+	// Diff old vs new storage per GPU.
+	var evicted, inserted int64
+	for g := 0; g < s.P.N; g++ {
+		oldKeys := storedKeySet(s.Placement, g)
+		newKeys := storedKeySet(newPl, g)
+		for k := range oldKeys {
+			if _, ok := newKeys[k]; !ok {
+				evicted++
+			}
+		}
+		for k := range newKeys {
+			if _, ok := oldKeys[k]; !ok {
+				inserted++
+			}
+		}
+	}
+
+	// Update phase: moved bytes happen in BatchEntries-sized steps.
+	movedEntries := evicted + inserted
+	steps := (movedEntries + cfg.BatchEntries - 1) / cfg.BatchEntries
+	perStep := float64(cfg.BatchEntries*int64(s.EntryBytes)) / cfg.UpdateBandwidth
+	updateSeconds := float64(steps) * (perStep + cfg.PauseSeconds)
+	duration := cfg.SolveSeconds + updateSeconds
+
+	// Timeline.
+	rep := &RefreshReport{
+		Duration:        duration,
+		SolveSeconds:    cfg.SolveSeconds,
+		UpdateSeconds:   updateSeconds,
+		EvictedEntries:  evicted,
+		InsertedEntries: inserted,
+	}
+	impactSum, impactN := 0.0, 0
+	for t := -5 * cfg.SamplePeriod; t < duration+5*cfg.SamplePeriod; t += cfg.SamplePeriod {
+		it := baseIterTime
+		switch {
+		case t < 0 || t >= duration:
+			// steady state
+		case t < cfg.SolveSeconds:
+			it = baseIterTime * cfg.SolveImpact
+		default:
+			// Inside the update phase: batches alternate with pauses.
+			phase := math.Mod(t-cfg.SolveSeconds, perStep+cfg.PauseSeconds)
+			if phase < perStep {
+				it = baseIterTime * cfg.UpdateImpact
+			}
+		}
+		if t >= 0 && t < duration {
+			impactSum += it/baseIterTime - 1
+			impactN++
+		}
+		rep.Timeline = append(rep.Timeline, RefreshStep{T: t, IterTime: it})
+	}
+	if impactN > 0 {
+		rep.MeanImpact = impactSum / float64(impactN)
+	}
+
+	// Apply the diff incrementally, GPU by GPU: evictions first (freeing
+	// slots), then insertions into the recycled slots — the small-batch
+	// update of §7.2. The Refresher orders hashtable and content updates so
+	// foreground reads stay consistent; in the simulation each key's evict/
+	// insert is atomic.
+	buf := make([]byte, s.EntryBytes)
+	for g := 0; g < s.P.N; g++ {
+		oldKeys := storedKeySet(s.Placement, g)
+		newKeys := storedKeySet(newPl, g)
+		c := s.Caches[g]
+		for k := range oldKeys {
+			if _, keep := newKeys[k]; !keep {
+				if !c.evict(k) {
+					return nil, fmt.Errorf("cache: refresh eviction missed key %d on gpu %d", k, g)
+				}
+			}
+		}
+		for k := range newKeys {
+			if _, had := oldKeys[k]; !had {
+				if err := c.insert(k, s.source, buf); err != nil {
+					return nil, fmt.Errorf("cache: refresh insert on gpu %d: %w", g, err)
+				}
+			}
+		}
+	}
+	s.Placement = newPl
+	return rep, nil
+}
+
+func storedKeySet(pl *solver.Placement, g int) map[int64]struct{} {
+	out := make(map[int64]struct{})
+	for bi := range pl.Blocks {
+		b := &pl.Blocks[bi]
+		if !b.Store[g] {
+			continue
+		}
+		for r := b.Start; r < b.End; r++ {
+			out[int64(pl.ByRank[r])] = struct{}{}
+		}
+	}
+	return out
+}

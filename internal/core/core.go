@@ -1,0 +1,217 @@
+// Package core assembles UGache (paper §4): given a platform, hotness
+// statistics, and per-GPU cache capacity, Build profiles the platform,
+// solves the cache policy (Solver), fills the caches (Filler), and serves
+// batched lookups through the factored Extractor. Refresh re-solves against
+// new hotness in the background and applies the diff with bounded
+// foreground impact (§7.2).
+//
+// This package is the internal engine behind the public ugache package at
+// the module root.
+package core
+
+import (
+	"fmt"
+
+	"ugache/internal/cache"
+	"ugache/internal/extract"
+	"ugache/internal/platform"
+	"ugache/internal/solver"
+	"ugache/internal/workload"
+)
+
+// Config describes a UGache instance.
+type Config struct {
+	// Platform is the multi-GPU server (required).
+	Platform *platform.Platform
+	// Hotness is the per-entry expected accesses per iteration (required;
+	// obtain it from presampling, degree proxies, or a HotnessSampler —
+	// §6.1).
+	Hotness workload.Hotness
+	// EntryBytes is the embedding row size (required).
+	EntryBytes int
+	// CacheEntriesPerGPU sizes each GPU's cache in entries. If zero,
+	// CacheRatio is used instead.
+	CacheEntriesPerGPU int64
+	// CacheRatio sizes each GPU's cache as a fraction of all entries.
+	CacheRatio float64
+	// Policy picks the placement algorithm (default solver.UGache{}).
+	Policy solver.Policy
+	// Mechanism picks the extraction mechanism (default extract.Factored).
+	Mechanism extract.Mechanism
+	// Source, when non-nil, enables functional mode: Lookup returns real
+	// embedding bytes verified against this host store.
+	Source cache.RowSource
+	// BlockBudget caps solver blocks (0 = solver default).
+	BlockBudget int
+	// Placement, when non-nil, skips solving and uses this pre-solved
+	// placement (e.g. loaded with solver.LoadPlacement); it is validated
+	// against the rest of the config.
+	Placement *solver.Placement
+}
+
+// System is a built UGache instance.
+type System struct {
+	P         *platform.Platform
+	Placement *solver.Placement
+	Cache     *cache.System
+	Extractor *extract.Extractor
+	Mechanism extract.Mechanism
+
+	input    solver.Input
+	policy   solver.Policy
+	capacity []int64
+}
+
+// Build solves the policy and fills the caches.
+func Build(cfg Config) (*System, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("core: Platform is required")
+	}
+	if len(cfg.Hotness) == 0 {
+		return nil, fmt.Errorf("core: Hotness is required")
+	}
+	if cfg.EntryBytes <= 0 {
+		return nil, fmt.Errorf("core: EntryBytes must be positive")
+	}
+	capPer := cfg.CacheEntriesPerGPU
+	if capPer == 0 {
+		if cfg.CacheRatio <= 0 || cfg.CacheRatio > 1 {
+			return nil, fmt.Errorf("core: need CacheEntriesPerGPU or CacheRatio in (0, 1]")
+		}
+		capPer = int64(cfg.CacheRatio * float64(len(cfg.Hotness)))
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = solver.UGache{}
+	}
+	capacity := make([]int64, cfg.Platform.N)
+	for g := range capacity {
+		capacity[g] = capPer
+	}
+	in := solver.Input{
+		P:           cfg.Platform,
+		Hotness:     cfg.Hotness,
+		EntryBytes:  cfg.EntryBytes,
+		Capacity:    capacity,
+		BlockBudget: cfg.BlockBudget,
+	}
+	pl := cfg.Placement
+	if pl == nil {
+		solved, err := policy.Solve(&in)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy %s: %w", policy.Name(), err)
+		}
+		pl = solved
+	} else if len(pl.EstTimes) == 0 {
+		pl.EstTimes = solver.EstimateTimes(&in, pl)
+	}
+	if err := pl.Validate(&in); err != nil {
+		return nil, fmt.Errorf("core: policy %s produced invalid placement: %w", policy.Name(), err)
+	}
+	cs, err := cache.Fill(cfg.Platform, pl, cache.FillOptions{
+		CapacityEntries: capacity,
+		Source:          cfg.Source,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex, err := extract.New(cfg.Platform, pl)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		P:         cfg.Platform,
+		Placement: pl,
+		Cache:     cs,
+		Extractor: ex,
+		Mechanism: cfg.Mechanism,
+		input:     in,
+		policy:    policy,
+		capacity:  capacity,
+	}, nil
+}
+
+// ExtractBatch simulates one iteration's extraction with the configured
+// mechanism and returns the timing result.
+func (s *System) ExtractBatch(b *extract.Batch) (*extract.Result, error) {
+	return s.Extractor.Run(s.Mechanism, b)
+}
+
+// ExtractWith simulates one extraction with an explicit mechanism
+// (baseline comparisons).
+func (s *System) ExtractWith(m extract.Mechanism, b *extract.Batch) (*extract.Result, error) {
+	return s.Extractor.Run(m, b)
+}
+
+// Lookup functionally gathers rows for GPU dst into out; requires a Source.
+func (s *System) Lookup(dst int, keys []int64, out []byte) error {
+	return s.Cache.Gather(dst, keys, out)
+}
+
+// Stats returns the modelled per-GPU access split.
+func (s *System) Stats() []solver.HitStats {
+	return s.Placement.Stats(s.input.Hotness)
+}
+
+// EstimatedTimes returns the §6.2 model's per-GPU extraction estimate.
+func (s *System) EstimatedTimes() []float64 {
+	return s.Placement.EstTimes
+}
+
+// Refresh re-solves the policy against new hotness and applies it per §7.2,
+// returning the Fig.-17-style report. The system's placement, caches and
+// extractor all switch to the new solution.
+func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg cache.RefreshConfig) (*cache.RefreshReport, error) {
+	if int64(len(newHotness)) != s.Placement.NumEntries() {
+		return nil, fmt.Errorf("core: hotness for %d entries, placement has %d",
+			len(newHotness), s.Placement.NumEntries())
+	}
+	in := s.input
+	in.Hotness = newHotness
+	pl, err := s.policy.Solve(&in)
+	if err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(&in); err != nil {
+		return nil, err
+	}
+	rep, err := s.Cache.Refresh(pl, baseIterTime, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Placement = pl
+	s.input = in
+	ex, err := extract.New(s.P, pl)
+	if err != nil {
+		return nil, err
+	}
+	s.Extractor = ex
+	return rep, nil
+}
+
+// ShouldRefresh implements the §7.2 trigger: re-evaluate the model with new
+// hotness under the current placement and report whether the estimated
+// extraction time degraded by more than threshold (e.g. 0.1 = 10%).
+func (s *System) ShouldRefresh(newHotness workload.Hotness, threshold float64) (bool, error) {
+	if int64(len(newHotness)) != s.Placement.NumEntries() {
+		return false, fmt.Errorf("core: hotness length mismatch")
+	}
+	in := s.input
+	in.Hotness = newHotness
+	cur := maxOf(solver.EstimateTimes(&in, s.Placement))
+	old := maxOf(s.Placement.EstTimes)
+	if old == 0 {
+		return cur > 0, nil
+	}
+	return cur > old*(1+threshold), nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ugache/internal/cache"
+	"ugache/internal/emb"
+	"ugache/internal/extract"
+	"ugache/internal/platform"
+	"ugache/internal/rng"
+	"ugache/internal/solver"
+	"ugache/internal/workload"
+)
+
+func testHotness(n int, alpha float64, seed uint64) workload.Hotness {
+	r := rng.New(seed)
+	perm := r.Perm(n)
+	h := make(workload.Hotness, n)
+	for rank := 0; rank < n; rank++ {
+		h[perm[rank]] = math.Pow(float64(rank+1), -alpha)
+	}
+	return h
+}
+
+func TestBuildAndExtract(t *testing.T) {
+	p := platform.ServerC()
+	sys, err := Build(Config{
+		Platform:   p,
+		Hotness:    testHotness(8000, 1.1, 1),
+		EntryBytes: 512,
+		CacheRatio: 0.08,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := workload.NewZipf(8000, 1.1)
+	r := rng.New(2)
+	b := &extract.Batch{Keys: make([][]int64, p.N)}
+	scratch := make(map[int64]struct{})
+	for g := 0; g < p.N; g++ {
+		keys := make([]int64, 20000)
+		for i := range keys {
+			keys[i] = z.Sample(r)
+		}
+		b.Keys[g] = workload.Unique(keys, scratch)
+	}
+	res, err := sys.ExtractBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("no time")
+	}
+	// Factored (default) must beat an explicit peer-random run.
+	peer, err := sys.ExtractWith(extract.PeerRandom, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time >= peer.Time {
+		t.Fatalf("factored %g not faster than peer %g", res.Time, peer.Time)
+	}
+	if len(sys.EstimatedTimes()) != p.N {
+		t.Fatal("estimates missing")
+	}
+	st := sys.Stats()
+	if len(st) != p.N || st[0].Local <= 0 {
+		t.Fatalf("stats %v", st)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := platform.ServerA()
+	h := testHotness(100, 1.1, 1)
+	cases := []Config{
+		{Hotness: h, EntryBytes: 4, CacheRatio: 0.1},
+		{Platform: p, EntryBytes: 4, CacheRatio: 0.1},
+		{Platform: p, Hotness: h, CacheRatio: 0.1},
+		{Platform: p, Hotness: h, EntryBytes: 4},
+		{Platform: p, Hotness: h, EntryBytes: 4, CacheRatio: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := Build(cfg); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFunctionalLookup(t *testing.T) {
+	p := platform.ServerA()
+	table, err := emb.NewMaterialized("t", 3000, 8, emb.Float32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Build(Config{
+		Platform:   p,
+		Hotness:    testHotness(3000, 1.2, 3),
+		EntryBytes: table.EntryBytes(),
+		CacheRatio: 0.1,
+		Source:     table,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []int64{0, 5, 2999, 17}
+	out := make([]byte, len(keys)*table.EntryBytes())
+	if err := sys.Lookup(2, keys, out); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, table.EntryBytes())
+	for i, k := range keys {
+		table.ReadRow(k, want)
+		if !bytes.Equal(out[i*table.EntryBytes():(i+1)*table.EntryBytes()], want) {
+			t.Fatalf("lookup row %d wrong", k)
+		}
+	}
+}
+
+func TestPolicyPluggable(t *testing.T) {
+	p := platform.ServerC()
+	h := testHotness(4000, 1.1, 5)
+	var times []float64
+	for _, pol := range []solver.Policy{solver.Replication{}, solver.Partition{}, solver.UGache{}} {
+		sys, err := Build(Config{
+			Platform: p, Hotness: h, EntryBytes: 128, CacheRatio: 0.06, Policy: pol,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		times = append(times, maxOf(sys.EstimatedTimes()))
+	}
+	// ugache <= min(rep, part)
+	if times[2] > math.Min(times[0], times[1])*1.01 {
+		t.Fatalf("ugache %g vs rep %g part %g", times[2], times[0], times[1])
+	}
+}
+
+func TestShouldRefreshAndRefresh(t *testing.T) {
+	p := platform.ServerC()
+	h := testHotness(4000, 1.2, 5)
+	sys, err := Build(Config{
+		Platform: p, Hotness: h, EntryBytes: 64, CacheRatio: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same hotness: no refresh needed.
+	if yes, err := sys.ShouldRefresh(h, 0.1); err != nil || yes {
+		t.Fatalf("spurious refresh trigger (err %v)", err)
+	}
+	// Reversed hotness: the old placement caches the wrong entries.
+	h2 := make(workload.Hotness, len(h))
+	for i := range h2 {
+		h2[i] = h[len(h)-1-i]
+	}
+	yes, err := sys.ShouldRefresh(h2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Fatal("refresh not triggered by reversed hotness")
+	}
+	oldMax := maxOf(sys.EstimatedTimes())
+	cfg := cache.DefaultRefreshConfig()
+	cfg.BatchEntries = 500
+	rep, err := sys.Refresh(h2, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duration <= 0 || rep.InsertedEntries == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	// After refresh the new placement is as good for h2 as the old one was
+	// for h.
+	newMax := maxOf(sys.EstimatedTimes())
+	if newMax > oldMax*1.1 {
+		t.Fatalf("refresh did not restore performance: %g vs %g", newMax, oldMax)
+	}
+	if yes, _ := sys.ShouldRefresh(h2, 0.1); yes {
+		t.Fatal("refresh trigger still raised after refresh")
+	}
+}
+
+func TestRefreshHotnessLengthMismatch(t *testing.T) {
+	p := platform.ServerA()
+	sys, err := Build(Config{
+		Platform: p, Hotness: testHotness(1000, 1.1, 1), EntryBytes: 64, CacheRatio: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Refresh(testHotness(500, 1.1, 1), 1, cache.DefaultRefreshConfig()); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := sys.ShouldRefresh(testHotness(500, 1.1, 1), 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestExplicitCapacityOverridesRatio(t *testing.T) {
+	p := platform.ServerA()
+	sys, err := Build(Config{
+		Platform:           p,
+		Hotness:            testHotness(1000, 1.1, 1),
+		EntryBytes:         64,
+		CacheEntriesPerGPU: 123,
+		CacheRatio:         0.9, // ignored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range sys.Placement.CapacityUsed() {
+		if u > 123 {
+			t.Fatalf("capacity override ignored: %d", u)
+		}
+	}
+}
+
+func TestPreSolvedPlacement(t *testing.T) {
+	p := platform.ServerA()
+	h := testHotness(2000, 1.1, 3)
+	base, err := Build(Config{Platform: p, Hotness: h, EntryBytes: 64, CacheRatio: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roundtrip the placement through the binary format and rebuild.
+	var buf bytes.Buffer
+	if err := base.Placement.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := solver.LoadPlacement(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Build(Config{
+		Platform: p, Hotness: h, EntryBytes: 64, CacheRatio: 0.1,
+		Placement: loaded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := int64(0); e < 2000; e += 101 {
+		if sys.Placement.SourceOf(1, e) != base.Placement.SourceOf(1, e) {
+			t.Fatal("pre-solved placement not used")
+		}
+	}
+	// A placement that violates the capacity must be rejected.
+	tiny, err := Build(Config{
+		Platform: p, Hotness: h, EntryBytes: 64, CacheEntriesPerGPU: 1,
+		Placement: loaded,
+	})
+	if err == nil {
+		t.Fatalf("oversized placement accepted: %v", tiny.Placement.CapacityUsed())
+	}
+}

@@ -1,0 +1,195 @@
+// Package hashtable implements the flat, open-addressing hash table that
+// coordinates UGache's Extractor and Solver (paper §4): each cached
+// embedding key maps to its source location <GPU, offset>. The layout
+// mirrors a GPU hash table — two flat arrays, linear probing, power-of-two
+// capacity — because the Extractor's locate() step (paper §3.2) does exactly
+// this lookup per key on device.
+//
+// The Refresher deletes and reinserts entries in place (paper §7.2), so the
+// table supports tombstone deletion.
+package hashtable
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Location is a cached entry's source: the GPU holding it and the byte
+// offset of the row within that GPU's cache arena.
+type Location struct {
+	GPU    int32
+	Offset int64
+}
+
+const (
+	emptySlot     = -1 // key sentinel: never a valid embedding key
+	tombstoneSlot = -2
+)
+
+// Table maps int64 keys (>= 0) to Locations.
+type Table struct {
+	keys  []int64
+	locs  []Location
+	mask  uint64
+	used  int // live entries
+	dirty int // live + tombstones
+}
+
+// New creates a table that can hold at least capacity entries at a load
+// factor of at most 0.75.
+func New(capacity int) *Table {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1 << bits.Len64(uint64(capacity*4/3))
+	if n < 8 {
+		n = 8
+	}
+	t := &Table{
+		keys: make([]int64, n),
+		locs: make([]Location, n),
+		mask: uint64(n - 1),
+	}
+	for i := range t.keys {
+		t.keys[i] = emptySlot
+	}
+	return t
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return t.used }
+
+// Cap returns the slot count.
+func (t *Table) Cap() int { return len(t.keys) }
+
+func hash(key int64) uint64 {
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Insert adds or overwrites a key. It returns an error for negative keys
+// (reserved for sentinels).
+func (t *Table) Insert(key int64, loc Location) error {
+	if key < 0 {
+		return fmt.Errorf("hashtable: negative key %d", key)
+	}
+	if t.dirty*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	i := hash(key) & t.mask
+	firstTomb := -1
+	for {
+		switch t.keys[i] {
+		case emptySlot:
+			if firstTomb >= 0 {
+				i = uint64(firstTomb)
+			} else {
+				t.dirty++
+			}
+			t.keys[i] = key
+			t.locs[i] = loc
+			t.used++
+			return nil
+		case tombstoneSlot:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case key:
+			t.locs[i] = loc
+			return nil
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Lookup returns the location for key.
+func (t *Table) Lookup(key int64) (Location, bool) {
+	if key < 0 {
+		return Location{}, false
+	}
+	i := hash(key) & t.mask
+	for {
+		switch t.keys[i] {
+		case emptySlot:
+			return Location{}, false
+		case key:
+			return t.locs[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Delete removes key, returning whether it was present.
+func (t *Table) Delete(key int64) bool {
+	if key < 0 {
+		return false
+	}
+	i := hash(key) & t.mask
+	for {
+		switch t.keys[i] {
+		case emptySlot:
+			return false
+		case key:
+			t.keys[i] = tombstoneSlot
+			t.used--
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Range calls fn for every live entry until fn returns false. Iteration
+// order is unspecified but deterministic for a given insertion history.
+func (t *Table) Range(fn func(key int64, loc Location) bool) {
+	for i, k := range t.keys {
+		if k >= 0 {
+			if !fn(k, t.locs[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Table) grow() {
+	old := *t
+	n := len(t.keys) * 2
+	// If most dirt is tombstones, rebuild at the same size instead.
+	if t.used*2 < t.dirty {
+		n = len(t.keys)
+	}
+	t.keys = make([]int64, n)
+	t.locs = make([]Location, n)
+	t.mask = uint64(n - 1)
+	t.used = 0
+	t.dirty = 0
+	for i := range t.keys {
+		t.keys[i] = emptySlot
+	}
+	for i, k := range old.keys {
+		if k >= 0 {
+			// Insert cannot fail for keys already validated, and cannot
+			// re-grow because the new table has room for all live entries.
+			_ = t.Insert(k, old.locs[i])
+		}
+	}
+}
+
+// BulkLookup resolves many keys at once, writing found[i] and locs[i] per
+// key; it returns the number found. Slices must be of equal length.
+func (t *Table) BulkLookup(keys []int64, locs []Location, found []bool) int {
+	n := 0
+	for i, k := range keys {
+		loc, ok := t.Lookup(k)
+		locs[i] = loc
+		found[i] = ok
+		if ok {
+			n++
+		}
+	}
+	return n
+}

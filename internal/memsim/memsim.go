@@ -1,0 +1,128 @@
+// Package memsim simulates the unified GPU/host address space of a modern
+// multi-GPU platform (paper §3.2, "peer-based access"): per-GPU memory
+// arenas with capacity accounting plus optional real backing bytes, so that
+// functional tests can verify zero-copy peer reads byte-for-byte while the
+// large timing experiments track only allocation sizes.
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds the arena capacity;
+// it corresponds to the OOM conditions §8.1 works around by shrinking batch
+// sizes.
+var ErrOutOfMemory = errors.New("memsim: out of device memory")
+
+// Arena is one device's memory: a bump allocator with optional backing.
+type Arena struct {
+	Name     string
+	Capacity int64
+	used     int64
+	data     []byte // nil when the arena only tracks sizes
+}
+
+// NewArena creates a size-tracking arena.
+func NewArena(name string, capacity int64) *Arena {
+	return &Arena{Name: name, Capacity: capacity}
+}
+
+// NewBackedArena creates an arena with real bytes for functional tests.
+func NewBackedArena(name string, capacity int64) (*Arena, error) {
+	if capacity > 1<<31 {
+		return nil, fmt.Errorf("memsim: backed arena %q too large (%d bytes)", name, capacity)
+	}
+	return &Arena{Name: name, Capacity: capacity, data: make([]byte, capacity)}, nil
+}
+
+// Backed reports whether the arena holds real bytes.
+func (a *Arena) Backed() bool { return a.data != nil }
+
+// Used returns the allocated byte count.
+func (a *Arena) Used() int64 { return a.used }
+
+// Free returns the unallocated byte count.
+func (a *Arena) Free() int64 { return a.Capacity - a.used }
+
+// Alloc reserves n bytes and returns their offset.
+func (a *Arena) Alloc(n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("memsim: negative allocation %d", n)
+	}
+	if a.used+n > a.Capacity {
+		return 0, fmt.Errorf("%w: %q needs %d, free %d", ErrOutOfMemory, a.Name, n, a.Free())
+	}
+	off := a.used
+	a.used += n
+	return off, nil
+}
+
+// Reset releases every allocation (the cache refill path frees whole caches
+// at once; a general free list is not needed).
+func (a *Arena) Reset() { a.used = 0 }
+
+// Write copies b to the given offset. It is a no-op (after bounds checking)
+// on unbacked arenas.
+func (a *Arena) Write(off int64, b []byte) error {
+	if off < 0 || off+int64(len(b)) > a.used {
+		return fmt.Errorf("memsim: write [%d, %d) outside allocated %d bytes of %q",
+			off, off+int64(len(b)), a.used, a.Name)
+	}
+	if a.data != nil {
+		copy(a.data[off:], b)
+	}
+	return nil
+}
+
+// Read copies from the given offset into b. Reading from an unbacked arena
+// is an error: timing-only runs must not depend on content.
+func (a *Arena) Read(off int64, b []byte) error {
+	if off < 0 || off+int64(len(b)) > a.used {
+		return fmt.Errorf("memsim: read [%d, %d) outside allocated %d bytes of %q",
+			off, off+int64(len(b)), a.used, a.Name)
+	}
+	if a.data == nil {
+		return fmt.Errorf("memsim: arena %q is not backed", a.Name)
+	}
+	copy(b, a.data[off:])
+	return nil
+}
+
+// Space is the unified address space of one platform: one arena per GPU.
+// Host memory is not an arena here — host embedding tables live in
+// emb.Table, which is effectively unbounded.
+type Space struct {
+	GPUs []*Arena
+}
+
+// NewSpace creates a space with n unbacked GPU arenas of the given capacity.
+func NewSpace(n int, capacityEach int64) *Space {
+	s := &Space{GPUs: make([]*Arena, n)}
+	for i := range s.GPUs {
+		s.GPUs[i] = NewArena(fmt.Sprintf("gpu%d", i), capacityEach)
+	}
+	return s
+}
+
+// NewBackedSpace creates a space with real backing bytes on every GPU.
+func NewBackedSpace(n int, capacityEach int64) (*Space, error) {
+	s := &Space{GPUs: make([]*Arena, n)}
+	for i := range s.GPUs {
+		a, err := NewBackedArena(fmt.Sprintf("gpu%d", i), capacityEach)
+		if err != nil {
+			return nil, err
+		}
+		s.GPUs[i] = a
+	}
+	return s, nil
+}
+
+// PeerRead reads from any GPU's arena — the zero-copy unified-addressing
+// primitive that peer-based extraction relies on.
+func (s *Space) PeerRead(gpu int, off int64, b []byte) error {
+	if gpu < 0 || gpu >= len(s.GPUs) {
+		return fmt.Errorf("memsim: no gpu %d", gpu)
+	}
+	return s.GPUs[gpu].Read(off, b)
+}

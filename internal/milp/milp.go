@@ -1,0 +1,143 @@
+// Package milp solves small mixed-integer linear programs by branch and
+// bound over internal/lp's simplex. It stands in for Gurobi in the paper's
+// cache-policy solver (§6.2): the exact, entry-granularity formulation is
+// solved with this package on reduced instances (as the paper itself
+// reduces instances for the Fig. 16 optimality study), while production-
+// scale instances go through internal/solver's Lagrangian path.
+package milp
+
+import (
+	"fmt"
+	"math"
+
+	"ugache/internal/lp"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes (0 = 100000).
+	MaxNodes int
+	// RelGap stops the search once (incumbent - bound)/|incumbent| is below
+	// this value (0 = prove optimality).
+	RelGap float64
+}
+
+// Solution is a MILP result.
+type Solution struct {
+	Status    lp.Status
+	Objective float64
+	X         []float64
+	// Bound is the best lower bound proven (equals Objective when the
+	// search completed).
+	Bound float64
+	// Nodes is the number of explored branch-and-bound nodes.
+	Nodes int
+	// Complete reports whether the search exhausted the tree (or met the
+	// gap target) rather than hitting MaxNodes.
+	Complete bool
+}
+
+const intTol = 1e-6
+
+// Solve minimizes the problem with the given variables restricted to
+// integers. Variables keep their x ≥ 0 domain; callers add upper bounds as
+// ordinary constraints.
+func Solve(p *lp.Problem, integers []int, opt Options) (*Solution, error) {
+	for _, v := range integers {
+		if v < 0 || v >= p.NumVars() {
+			return nil, fmt.Errorf("milp: integer variable %d out of range", v)
+		}
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+
+	root, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if root.Status != lp.Optimal {
+		return &Solution{Status: root.Status, Complete: true}, nil
+	}
+
+	best := &Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
+	type node struct {
+		prob  *lp.Problem
+		bound float64
+	}
+	// DFS stack; we branch on the most fractional variable, exploring the
+	// "floor" child first (tends to find feasible incumbents early for
+	// placement problems where variables are selection indicators).
+	stack := []node{{prob: p, bound: root.Objective}}
+	nodes := 0
+	globalBound := root.Objective
+
+	for len(stack) > 0 && nodes < maxNodes {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.bound >= best.Objective-1e-9 {
+			continue // pruned
+		}
+		sol, err := n.prob.Solve()
+		if err != nil {
+			return nil, err
+		}
+		nodes++
+		if sol.Status != lp.Optimal || sol.Objective >= best.Objective-1e-9 {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branch := -1
+		worst := intTol
+		for _, v := range integers {
+			f := sol.X[v] - math.Floor(sol.X[v])
+			frac := math.Min(f, 1-f)
+			if frac > worst {
+				worst = frac
+				branch = v
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			best = &Solution{Status: lp.Optimal, Objective: sol.Objective,
+				X: append([]float64(nil), sol.X...)}
+			if opt.RelGap > 0 && gapOK(best.Objective, globalBound, opt.RelGap) {
+				break
+			}
+			continue
+		}
+		fl := math.Floor(sol.X[branch])
+		up := n.prob.Clone()
+		if err := up.AddConstraint([]lp.Coef{{Var: branch, Value: 1}}, lp.GE, fl+1); err != nil {
+			return nil, err
+		}
+		down := n.prob.Clone()
+		if err := down.AddConstraint([]lp.Coef{{Var: branch, Value: 1}}, lp.LE, fl); err != nil {
+			return nil, err
+		}
+		// Push "up" first so "down" is explored first.
+		stack = append(stack, node{up, sol.Objective}, node{down, sol.Objective})
+	}
+
+	best.Nodes = nodes
+	best.Complete = len(stack) == 0 || (opt.RelGap > 0 && best.Status == lp.Optimal &&
+		gapOK(best.Objective, globalBound, opt.RelGap))
+	if best.Status == lp.Optimal {
+		if best.Complete {
+			best.Bound = best.Objective
+		} else {
+			best.Bound = globalBound
+		}
+	} else if best.Complete {
+		best.Status = lp.Infeasible
+	}
+	return best, nil
+}
+
+func gapOK(incumbent, bound, relGap float64) bool {
+	if incumbent == 0 {
+		return math.Abs(bound) < relGap
+	}
+	return (incumbent-bound)/math.Abs(incumbent) <= relGap
+}

@@ -1,0 +1,145 @@
+// Package nn implements the dense-model substrate of the evaluation: real
+// float32 MLP / DLRM / DCN / GraphSAGE / GCN forward computation (so
+// functional tests can check numbers end to end) together with an
+// analytic GPU-time model (FLOPs over effective throughput plus per-kernel
+// launch overhead) that prices the dense portion of each iteration — the
+// "MLP" rows of the paper's Table 1 and the non-embedding part of every
+// end-to-end figure.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ugache/internal/platform"
+	"ugache/internal/rng"
+)
+
+// TimeModel prices dense GPU compute.
+type TimeModel struct {
+	// PeakFLOPs is the device's peak fp32 throughput.
+	PeakFLOPs float64
+	// Efficiency is the achieved fraction of peak for DL kernels.
+	Efficiency float64
+	// KernelOverhead is the fixed launch cost per layer/kernel.
+	KernelOverhead float64
+}
+
+// TimeModelFor returns a calibrated model for a GPU generation.
+func TimeModelFor(g platform.GPUModel) TimeModel {
+	switch g.Name {
+	case "A100-80GB":
+		return TimeModel{PeakFLOPs: 19.5e12, Efficiency: 0.55, KernelOverhead: 8e-6}
+	default: // V100 class
+		return TimeModel{PeakFLOPs: 15.7e12, Efficiency: 0.45, KernelOverhead: 10e-6}
+	}
+}
+
+// Seconds prices a computation of the given FLOPs across the given number
+// of kernels.
+func (t TimeModel) Seconds(flops float64, kernels int) float64 {
+	return flops/(t.PeakFLOPs*t.Efficiency) + float64(kernels)*t.KernelOverhead
+}
+
+// Linear is one dense layer (out = act(x·W + b)).
+type Linear struct {
+	In, Out int
+	W       []float32 // In×Out, row-major
+	B       []float32
+	ReLU    bool
+}
+
+// NewLinear creates a layer with deterministic Xavier-style init.
+func NewLinear(in, out int, relu bool, r *rng.Rand) *Linear {
+	l := &Linear{In: in, Out: out, W: make([]float32, in*out), B: make([]float32, out), ReLU: relu}
+	scale := float32(math.Sqrt(2.0 / float64(in+out)))
+	for i := range l.W {
+		l.W[i] = (float32(r.Float64())*2 - 1) * scale
+	}
+	return l
+}
+
+// Forward computes the layer over a batch (rows × In), returning rows × Out.
+func (l *Linear) Forward(x []float32, rows int) ([]float32, error) {
+	if len(x) != rows*l.In {
+		return nil, fmt.Errorf("nn: input %d != %d×%d", len(x), rows, l.In)
+	}
+	out := make([]float32, rows*l.Out)
+	for r := 0; r < rows; r++ {
+		xi := x[r*l.In : (r+1)*l.In]
+		oi := out[r*l.Out : (r+1)*l.Out]
+		copy(oi, l.B)
+		for i, xv := range xi {
+			if xv == 0 {
+				continue
+			}
+			wrow := l.W[i*l.Out : (i+1)*l.Out]
+			for j, wv := range wrow {
+				oi[j] += xv * wv
+			}
+		}
+		if l.ReLU {
+			for j := range oi {
+				if oi[j] < 0 {
+					oi[j] = 0
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// FLOPs returns the forward cost for a batch.
+func (l *Linear) FLOPs(rows int) float64 {
+	return 2 * float64(rows) * float64(l.In) * float64(l.Out)
+}
+
+// MLP is a stack of Linear layers.
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given widths (ReLU between layers, linear
+// output).
+func NewMLP(widths []int, r *rng.Rand) (*MLP, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least two widths")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(widths); i++ {
+		relu := i+2 < len(widths)
+		m.Layers = append(m.Layers, NewLinear(widths[i], widths[i+1], relu, r.Split(fmt.Sprintf("l%d", i))))
+	}
+	return m, nil
+}
+
+// Forward runs the batch through all layers.
+func (m *MLP) Forward(x []float32, rows int) ([]float32, error) {
+	var err error
+	for _, l := range m.Layers {
+		x, err = l.Forward(x, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// FLOPs returns the forward cost.
+func (m *MLP) FLOPs(rows int) float64 {
+	f := 0.0
+	for _, l := range m.Layers {
+		f += l.FLOPs(rows)
+	}
+	return f
+}
+
+// Kernels returns the kernel-launch count.
+func (m *MLP) Kernels() int { return len(m.Layers) }
+
+// Sigmoid applies the logistic function in place.
+func Sigmoid(x []float32) {
+	for i, v := range x {
+		x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}

@@ -1,0 +1,91 @@
+package platform
+
+import "math"
+
+// FEMDedication computes the paper's §5.3 core dedication strategy for one
+// destination GPU: how many cores to dedicate to each source location.
+// Index by SourceID; the local entry is always 0 because local extraction
+// runs purely on padding (cores handed over as non-local groups finish).
+//
+// Strategy, verbatim from the paper:
+//   - host first gets a small number of cores — its PCIe tolerance — to
+//     prevent extremely ragged time;
+//   - on hard-wired platforms the remaining cores are sliced by the ratio
+//     of per-pair link bandwidth (unconnected pairs get nothing);
+//   - on switch-based platforms the remaining cores are divided equally
+//     among the N−1 remote GPUs, which bounds each reader to 1/(N−1) of any
+//     source's outbound port and makes concurrent readers collision-free
+//     without synchronization.
+func (p *Platform) FEMDedication(dst int) []float64 {
+	cores := make([]float64, p.NumSources())
+	total := float64(p.GPU.SMs)
+
+	hostTol, _ := p.Tolerance(dst, p.Host())
+	hostCores := math.Ceil(hostTol)
+	if hostCores > total/2 {
+		hostCores = math.Floor(total / 2)
+	}
+	cores[p.Host()] = hostCores
+	remaining := total - hostCores
+
+	if p.N == 1 {
+		return cores
+	}
+	switch p.Kind {
+	case SwitchBased:
+		each := remaining / float64(p.N-1)
+		for j := 0; j < p.N; j++ {
+			if j != dst {
+				cores[j] = each
+			}
+		}
+	case HardWired:
+		sum := 0.0
+		for j := 0; j < p.N; j++ {
+			if j != dst && p.PairBW[dst][j] > 0 {
+				sum += p.PairBW[dst][j]
+			}
+		}
+		if sum == 0 {
+			return cores
+		}
+		for j := 0; j < p.N; j++ {
+			if j != dst && p.PairBW[dst][j] > 0 {
+				cores[j] = remaining * p.PairBW[dst][j] / sum
+			}
+		}
+	}
+	return cores
+}
+
+// EffectiveBW returns the bandwidth a FEM-dedicated core group actually
+// sustains from src to dst: the smaller of the path's link capacity and the
+// dedicated cores' aggregate issue rate. This is the 1/T_{i←j} the policy
+// solver plans with (§6.2): it bakes in both the topology and the §5.3
+// dedication, so the plan and the extractor agree. ok=false for unconnected
+// pairs.
+func (p *Platform) EffectiveBW(dst int, src SourceID) (bw float64, ok bool) {
+	link, ok := p.LinkBW(dst, src)
+	if !ok {
+		return 0, false
+	}
+	if src == p.Host() {
+		// Host DRAM is shared by every GPU extracting concurrently in
+		// data-parallel deployment: a reader's fair share is DRAM/N, which
+		// on every stock server is at or below its PCIe bandwidth.
+		if share := p.DRAMBW / float64(p.N); share < link {
+			link = share
+		}
+	}
+	if int(src) == dst {
+		// Local extraction eventually gets every core.
+		rate := float64(p.GPU.SMs) * p.GPU.RCoreLocal
+		return math.Min(link, rate), true
+	}
+	ded := p.FEMDedication(dst)
+	rate := ded[src] * p.RCore(dst, src)
+	if rate <= 0 {
+		return 0, false
+	}
+	return math.Min(link, rate), true
+}

@@ -1,0 +1,292 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStockServers(t *testing.T) {
+	for _, tc := range []struct {
+		p    *Platform
+		n    int
+		kind Kind
+	}{
+		{ServerA(), 4, HardWired},
+		{ServerB(), 8, HardWired},
+		{ServerC(), 8, SwitchBased},
+	} {
+		if tc.p.N != tc.n || tc.p.Kind != tc.kind {
+			t.Fatalf("%s: N=%d kind=%v", tc.p.Name, tc.p.N, tc.p.Kind)
+		}
+		if tc.p.NumSources() != tc.n+1 {
+			t.Fatalf("%s: NumSources=%d", tc.p.Name, tc.p.NumSources())
+		}
+	}
+}
+
+func TestServerAFullyConnected(t *testing.T) {
+	p := ServerA()
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			if !p.Connected(i, j) {
+				t.Fatalf("ServerA: %d-%d not connected", i, j)
+			}
+			if i == j {
+				continue
+			}
+			bw, ok := p.LinkBW(i, SourceID(j))
+			if !ok || bw != 50e9 {
+				t.Fatalf("ServerA pair %d<-%d bw %g ok=%v", i, j, bw, ok)
+			}
+		}
+	}
+}
+
+func TestServerBDGX1Topology(t *testing.T) {
+	p := ServerB()
+	// Each GPU must have exactly six NVLink "lanes" (double counts as two)
+	// and 150e9 total outbound bandwidth.
+	for g := 0; g < 8; g++ {
+		total := 0.0
+		connected := 0
+		for j := 0; j < 8; j++ {
+			if g == j {
+				continue
+			}
+			if p.Connected(g, j) {
+				connected++
+				total += p.PairBW[g][j]
+			}
+		}
+		if total != 150e9 {
+			t.Fatalf("gpu%d outbound %g, want 150e9", g, total)
+		}
+		if connected != 4 {
+			t.Fatalf("gpu%d connected to %d peers, want 4", g, connected)
+		}
+	}
+	// Cross-quad non-neighbors are unconnected; cliques are fully connected.
+	if p.Connected(0, 5) || p.Connected(1, 6) || p.Connected(2, 7) {
+		t.Fatal("unexpected cross-quad connection")
+	}
+	for _, q := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for _, a := range q {
+			for _, b := range q {
+				if !p.Connected(a, b) {
+					t.Fatalf("clique pair %d-%d unconnected", a, b)
+				}
+			}
+		}
+	}
+	// Symmetry.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if p.PairBW[i][j] != p.PairBW[j][i] {
+				t.Fatalf("asymmetric pair bw %d,%d", i, j)
+			}
+		}
+	}
+	// Unconnected pairs have no path and no TimePerByte.
+	if _, ok := p.Path(0, 5); ok {
+		t.Fatal("path for unconnected pair")
+	}
+	if _, ok := p.TimePerByte(0, 5); ok {
+		t.Fatal("TimePerByte for unconnected pair")
+	}
+}
+
+func TestServerCSwitch(t *testing.T) {
+	p := ServerC()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if !p.Connected(i, j) {
+				t.Fatalf("switch pair %d-%d unconnected", i, j)
+			}
+		}
+	}
+	bw, ok := p.LinkBW(0, 1)
+	if !ok || bw != 270e9 {
+		t.Fatalf("switch remote bw %g", bw)
+	}
+	if p.OutLink(3) < 0 || p.InLink(3) < 0 {
+		t.Fatal("missing switch ports")
+	}
+	if ServerA().OutLink(0) != -1 {
+		t.Fatal("hard-wired platform should not expose switch ports")
+	}
+}
+
+func TestPathsAndRCore(t *testing.T) {
+	p := ServerA()
+	host := p.Host()
+	if path, ok := p.Path(0, 0); !ok || len(path) != 1 {
+		t.Fatalf("local path %v ok=%v", path, ok)
+	}
+	if path, ok := p.Path(0, host); !ok || len(path) != 2 {
+		t.Fatalf("host path %v ok=%v", path, ok)
+	}
+	if path, ok := p.Path(2, 3); !ok || len(path) != 2 {
+		t.Fatalf("remote path %v ok=%v", path, ok)
+	}
+	if p.RCore(0, 0) != p.GPU.RCoreLocal {
+		t.Fatal("RCore local")
+	}
+	if p.RCore(0, host) != p.GPU.RCoreHost {
+		t.Fatal("RCore host")
+	}
+	if p.RCore(0, 1) != p.GPU.RCoreRemote {
+		t.Fatal("RCore remote")
+	}
+}
+
+func TestHostBandwidthBoundedByPCIe(t *testing.T) {
+	p := ServerC()
+	bw, ok := p.LinkBW(0, p.Host())
+	if !ok || bw != p.PCIeBW {
+		t.Fatalf("host bw %g, want PCIe %g", bw, p.PCIeBW)
+	}
+	tb, ok := p.TimePerByte(0, p.Host())
+	if !ok || math.Abs(tb-1/p.PCIeBW) > 1e-30 {
+		t.Fatalf("TimePerByte %g", tb)
+	}
+}
+
+func TestTolerances(t *testing.T) {
+	// The paper's observations: host tolerates <10% of cores; on a
+	// hard-wired 4-GPU platform each remote link tolerates about 1/3 of the
+	// non-host cores; local tolerates all cores.
+	a := ServerA()
+	hostTol, _ := a.Tolerance(0, a.Host())
+	if frac := hostTol / float64(a.GPU.SMs); frac >= 0.12 {
+		t.Fatalf("ServerA host tolerance fraction %g, want < 0.12", frac)
+	}
+	remTol, _ := a.Tolerance(0, 1)
+	if frac := remTol / float64(a.GPU.SMs); frac < 0.25 || frac > 0.42 {
+		t.Fatalf("ServerA remote tolerance fraction %g, want ~1/3", frac)
+	}
+	locTol, _ := a.Tolerance(0, 0)
+	if locTol < float64(a.GPU.SMs)*0.9 {
+		t.Fatalf("ServerA local tolerance %g, want ≈ all %d cores", locTol, a.GPU.SMs)
+	}
+
+	c := ServerC()
+	locTolC, _ := c.Tolerance(0, 0)
+	if locTolC < float64(c.GPU.SMs)*0.9 {
+		t.Fatalf("ServerC local tolerance %g", locTolC)
+	}
+	remTolC, _ := c.Tolerance(0, 1)
+	if remTolC < float64(c.GPU.SMs)*0.8 {
+		t.Fatalf("ServerC single-reader remote tolerance %g, want ≈ all cores", remTolC)
+	}
+	hostTolC, _ := c.Tolerance(0, c.Host())
+	if frac := hostTolC / float64(c.GPU.SMs); frac >= 0.12 {
+		t.Fatalf("ServerC host tolerance fraction %g", frac)
+	}
+}
+
+func TestProfileBandwidthShape(t *testing.T) {
+	// Fig. 6: rising then plateauing curves; remote plateau below local;
+	// host plateau far below both.
+	p := ServerA()
+	counts := []int{1, 5, 10, 20, 40, 80}
+	local, err := p.ProfileBandwidth(0, 0, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := p.ProfileBandwidth(0, 1, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := p.ProfileBandwidth(0, p.Host(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(counts); i++ {
+		if local[i].Bandwidth+1 < local[i-1].Bandwidth {
+			t.Fatal("local curve must be non-decreasing")
+		}
+	}
+	lastL := local[len(counts)-1].Bandwidth
+	lastR := remote[len(counts)-1].Bandwidth
+	lastH := host[len(counts)-1].Bandwidth
+	if !(lastH < lastR && lastR < lastL) {
+		t.Fatalf("plateau ordering violated: host %g remote %g local %g", lastH, lastR, lastL)
+	}
+	if lastR != 50e9 {
+		t.Fatalf("remote plateau %g, want link cap 50e9", lastR)
+	}
+	if lastH != 12e9 {
+		t.Fatalf("host plateau %g, want PCIe 12e9", lastH)
+	}
+}
+
+func TestProfileMultiReaderCollision(t *testing.T) {
+	// Fig. 6(b) right: on a switch, concurrent readers of the same source
+	// split its outbound port.
+	p := ServerC()
+	one, err := p.ProfileMultiReader(4, []int{2}, p.GPU.SMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := p.ProfileMultiReader(4, []int{0, 1, 2, 3}, p.GPU.SMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many[2] >= one[2] {
+		t.Fatalf("no collision: single %g, contended %g", one[2], many[2])
+	}
+	if many[2] > one[2]/2 {
+		t.Fatalf("contended share too high: %g vs %g", many[2], one[2])
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p := ServerB()
+	if _, err := p.ProfileBandwidth(0, 5, []int{4}); err == nil {
+		t.Fatal("expected error for unconnected pair")
+	}
+	if _, err := p.ProfileBandwidth(0, 1, []int{0}); err == nil {
+		t.Fatal("expected error for zero cores")
+	}
+	if _, err := p.ProfileMultiReader(0, []int{0}, 4); err == nil {
+		t.Fatal("expected error for reader == source")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 0, GPU: V100x16, PCIeBW: 1, DRAMBW: 1}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := New(Config{N: 2, GPU: V100x16, PCIeBW: 0, DRAMBW: 1}); err == nil {
+		t.Fatal("zero PCIe accepted")
+	}
+	if _, err := New(Config{N: 2, GPU: GPUModel{}, PCIeBW: 1, DRAMBW: 1}); err == nil {
+		t.Fatal("empty GPU model accepted")
+	}
+	if _, err := New(Config{N: 2, Kind: HardWired, GPU: V100x16, PCIeBW: 1, DRAMBW: 1}); err == nil {
+		t.Fatal("missing PairBW accepted")
+	}
+	if _, err := New(Config{N: 2, Kind: SwitchBased, GPU: A100x80, PCIeBW: 1, DRAMBW: 1}); err == nil {
+		t.Fatal("missing SwitchPortBW accepted")
+	}
+}
+
+func TestLinkIDAccessors(t *testing.T) {
+	p := ServerB()
+	if len(p.NVLinkIDs()) != 2*(len(dgx1Double)+len(dgx1Single)) {
+		t.Fatalf("NVLinkIDs count %d", len(p.NVLinkIDs()))
+	}
+	if len(p.PCIeIDs()) != 8 {
+		t.Fatal("PCIeIDs count")
+	}
+	if p.PairLink(0, 3) < 0 || p.PairLink(0, 5) != -1 {
+		t.Fatal("PairLink lookup")
+	}
+	c := ServerC()
+	if len(c.NVLinkIDs()) != 16 {
+		t.Fatalf("switch NVLinkIDs count %d", len(c.NVLinkIDs()))
+	}
+	if c.PairLink(0, 1) != -1 {
+		t.Fatal("switch platform should not expose pair links")
+	}
+}

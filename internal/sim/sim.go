@@ -1,0 +1,333 @@
+// Package sim implements the deterministic fluid-flow bandwidth engine that
+// stands in for real GPU hardware in this reproduction.
+//
+// An embedding extraction is modelled as a set of Demands: a group of GPU
+// cores (SMs) on a destination device moving a number of bytes from one
+// source location across a path of Links. Each core can issue at most RCore
+// bytes/s (the gather issue rate of one SM), and each link caps the total
+// rate of all flows crossing it. Bandwidth is divided by weighted max-min
+// fairness (water-filling), which reproduces the phenomena the paper builds
+// on:
+//
+//   - link tolerance: a link of capacity B saturates once B/RCore cores read
+//     through it (paper Fig. 6);
+//   - congestion and core stall: cores beyond the tolerance receive less than
+//     RCore each and are stalled — they occupy the core budget while the link,
+//     not the core, is the bottleneck (paper §5.2);
+//   - NVSwitch collision: per-GPU outbound/inbound links are shared across
+//     concurrent readers (paper Fig. 6b, right).
+//
+// The engine advances in phases: rates are fixed between demand completions,
+// and completed demands may hand their cores to another demand (PadTo),
+// which models UGache's local extraction padding (paper §5.3).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinkID names a link inside a Topology.
+type LinkID int
+
+// Link is a shared bandwidth resource (HBM port, NVLink pair, NVSwitch
+// outbound/inbound port, PCIe lane, host DRAM).
+type Link struct {
+	Name     string
+	Capacity float64 // bytes per second; must be > 0
+}
+
+// Topology is the set of links demands can route over.
+type Topology struct {
+	Links []Link
+}
+
+// AddLink appends a link and returns its ID.
+func (t *Topology) AddLink(name string, capacity float64) LinkID {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: link %q has non-positive capacity %g", name, capacity))
+	}
+	t.Links = append(t.Links, Link{Name: name, Capacity: capacity})
+	return LinkID(len(t.Links) - 1)
+}
+
+// Demand is one core group moving bytes from a source over a path of links.
+type Demand struct {
+	Label string
+	Bytes float64 // bytes to move; >= 0
+	Cores float64 // dedicated cores; may be fractional; >= 0
+	RCore float64 // per-core issue rate cap in bytes/s; > 0 if Cores > 0
+	Path  []LinkID
+	// PadTo, if >= 0, names the demand (by index in the Run slice) that
+	// inherits this demand's cores on completion. Cores accumulate: several
+	// non-local groups may pad into the same local group.
+	PadTo int
+}
+
+// Result reports the outcome of a Run.
+type Result struct {
+	// Finish[i] is the completion time of demand i in seconds. A demand with
+	// zero bytes finishes at 0.
+	Finish []float64
+	// Makespan is the time at which the last demand finished.
+	Makespan float64
+	// LinkBytes[l] is the total bytes carried by link l; utilization over the
+	// run is LinkBytes[l] / (Capacity[l] * Makespan).
+	LinkBytes []float64
+}
+
+// Utilization returns the average utilization of link l over the run, in
+// [0, 1]. It returns 0 if the makespan is zero.
+func (r *Result) Utilization(topo *Topology, l LinkID) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.LinkBytes[l] / (topo.Links[l].Capacity * r.Makespan)
+}
+
+// ErrStarved reports a demand that can never complete because it has bytes
+// to move but no cores and no padding source.
+var ErrStarved = errors.New("sim: demand has bytes but can never receive cores")
+
+type flow struct {
+	idx    int     // demand index
+	rem    float64 // remaining bytes
+	cores  float64
+	rcore  float64
+	path   []LinkID
+	padTo  int
+	done   bool
+	rate   float64 // current allocation, set by allocate
+	frozen bool    // scratch for the allocator
+}
+
+// Run simulates the demands to completion and returns per-demand finish
+// times. Demands run concurrently from t=0 (subject to having cores; a
+// demand with zero cores waits for padding).
+func (t *Topology) Run(demands []Demand) (*Result, error) {
+	flows := make([]*flow, len(demands))
+	res := &Result{
+		Finish:    make([]float64, len(demands)),
+		LinkBytes: make([]float64, len(t.Links)),
+	}
+	for i, d := range demands {
+		if d.Bytes < 0 {
+			return nil, fmt.Errorf("sim: demand %d (%s) has negative bytes", i, d.Label)
+		}
+		if d.Cores < 0 {
+			return nil, fmt.Errorf("sim: demand %d (%s) has negative cores", i, d.Label)
+		}
+		if d.Cores > 0 && d.RCore <= 0 {
+			return nil, fmt.Errorf("sim: demand %d (%s) has cores but RCore %g", i, d.Label, d.RCore)
+		}
+		for _, l := range d.Path {
+			if int(l) < 0 || int(l) >= len(t.Links) {
+				return nil, fmt.Errorf("sim: demand %d (%s) references unknown link %d", i, d.Label, l)
+			}
+		}
+		if d.PadTo >= len(demands) {
+			return nil, fmt.Errorf("sim: demand %d (%s) pads into unknown demand %d", i, d.Label, d.PadTo)
+		}
+		flows[i] = &flow{
+			idx: i, rem: d.Bytes, cores: d.Cores, rcore: d.RCore,
+			path: d.Path, padTo: d.PadTo,
+		}
+		if d.Bytes == 0 {
+			flows[i].done = true
+		}
+	}
+
+	now := 0.0
+	// Each phase completes at least one demand, so phases <= len(demands);
+	// the extra headroom guards against float stagnation.
+	for phase := 0; phase <= 2*len(demands)+4; phase++ {
+		active := activeFlows(flows)
+		if len(active) == 0 {
+			break
+		}
+		t.allocate(active)
+
+		// Find the next completion among flows that are actually moving.
+		dt := math.Inf(1)
+		moving := false
+		for _, f := range active {
+			if f.rate > 0 {
+				moving = true
+				if d := f.rem / f.rate; d < dt {
+					dt = d
+				}
+			}
+		}
+		if !moving {
+			// Remaining demands have no cores and nothing left to pad them.
+			return nil, ErrStarved
+		}
+
+		// Advance time; account carried bytes per link.
+		for _, f := range active {
+			if f.rate <= 0 {
+				continue
+			}
+			moved := f.rate * dt
+			if moved > f.rem {
+				moved = f.rem
+			}
+			f.rem -= moved
+			for _, l := range f.path {
+				res.LinkBytes[l] += moved
+			}
+		}
+		now += dt
+
+		// Retire completed flows and hand cores to their pad target.
+		const eps = 1e-9
+		for _, f := range active {
+			if f.rem <= eps*(1+f.rate) {
+				f.rem = 0
+				f.done = true
+				res.Finish[f.idx] = now
+				if f.padTo >= 0 && !flows[f.padTo].done {
+					tgt := flows[f.padTo]
+					tgt.cores += f.cores
+					if tgt.rcore <= 0 {
+						tgt.rcore = f.rcore
+					}
+				}
+			}
+		}
+	}
+	for _, f := range flows {
+		if !f.done {
+			return nil, fmt.Errorf("sim: simulation did not converge (%d flows stuck)", len(activeFlows(flows)))
+		}
+	}
+	res.Makespan = 0
+	for _, ft := range res.Finish {
+		if ft > res.Makespan {
+			res.Makespan = ft
+		}
+	}
+	return res, nil
+}
+
+func activeFlows(flows []*flow) []*flow {
+	var out []*flow
+	for _, f := range flows {
+		if !f.done {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// allocate performs weighted max-min fair allocation across links with
+// per-flow rate caps (cores * rcore). Weight is the flow's core count, so a
+// group with more cores wins a proportionally larger share of a contended
+// link, matching how more SMs win more memory bandwidth.
+func (t *Topology) allocate(active []*flow) {
+	resid := make([]float64, len(t.Links))
+	for i, l := range t.Links {
+		resid[i] = l.Capacity
+	}
+	for _, f := range active {
+		f.frozen = false
+		f.rate = 0
+	}
+	unfrozen := len(active)
+	for _, f := range active {
+		if f.cores <= 0 {
+			// No cores: cannot move data this phase.
+			f.frozen = true
+			unfrozen--
+		}
+	}
+	for unfrozen > 0 {
+		// Per-link total unfrozen weight.
+		weight := make([]float64, len(t.Links))
+		for _, f := range active {
+			if f.frozen {
+				continue
+			}
+			for _, l := range f.path {
+				weight[l] += f.cores
+			}
+		}
+		// Bottleneck link ratio.
+		linkRatio := math.Inf(1)
+		linkIdx := -1
+		for l := range t.Links {
+			if weight[l] <= 0 {
+				continue
+			}
+			r := resid[l] / weight[l]
+			if r < linkRatio {
+				linkRatio = r
+				linkIdx = l
+			}
+		}
+		// Flow cap ratio (a flow that caps out below the bottleneck share
+		// must be frozen first, releasing bandwidth to others).
+		capRatio := math.Inf(1)
+		capIdx := -1
+		for i, f := range active {
+			if f.frozen {
+				continue
+			}
+			r := f.rcore // per-core cap; comparable to per-weight link ratio
+			if r < capRatio {
+				capRatio = r
+				capIdx = i
+			}
+		}
+		switch {
+		case capIdx >= 0 && capRatio < linkRatio:
+			f := active[capIdx]
+			f.rate = f.cores * f.rcore
+			f.frozen = true
+			unfrozen--
+			for _, l := range f.path {
+				resid[l] -= f.rate
+				if resid[l] < 0 {
+					resid[l] = 0
+				}
+			}
+		case linkIdx >= 0:
+			for _, f := range active {
+				if f.frozen {
+					continue
+				}
+				onLink := false
+				for _, l := range f.path {
+					if l == LinkID(linkIdx) {
+						onLink = true
+						break
+					}
+				}
+				if !onLink {
+					continue
+				}
+				f.rate = linkRatio * f.cores
+				f.frozen = true
+				unfrozen--
+				for _, l := range f.path {
+					resid[l] -= f.rate
+					if resid[l] < 0 {
+						resid[l] = 0
+					}
+				}
+			}
+		default:
+			// No constraining link and no cap: flows with no path are
+			// limited only by their core rate (shouldn't occur: capRatio
+			// is finite whenever cores > 0). Freeze everything to exit.
+			for _, f := range active {
+				if !f.frozen {
+					f.rate = f.cores * f.rcore
+					f.frozen = true
+					unfrozen--
+				}
+			}
+		}
+	}
+}

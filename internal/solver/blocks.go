@@ -1,0 +1,216 @@
+package solver
+
+import (
+	"math"
+	"sort"
+
+	"ugache/internal/platform"
+)
+
+// ctx is the shared per-solve state: the hotness ranking and its prefix
+// sums, from which policies build blocks and evaluate masses cheaply.
+type ctx struct {
+	in     *Input
+	ranked []int64   // rank -> entry
+	prefix []float64 // prefix[r] = Σ hotness of ranks [0, r)
+}
+
+func newCtx(in *Input) *ctx {
+	ranked := in.Hotness.Rank()
+	prefix := make([]float64, len(ranked)+1)
+	for r, e := range ranked {
+		prefix[r+1] = prefix[r] + in.Hotness[e]
+	}
+	return &ctx{in: in, ranked: ranked, prefix: prefix}
+}
+
+// mass returns the hotness mass of rank range [start, end).
+func (c *ctx) mass(start, end int64) float64 {
+	return c.prefix[end] - c.prefix[start]
+}
+
+// numEntries returns the entry count.
+func (c *ctx) numEntries() int64 { return int64(len(c.ranked)) }
+
+// build batches ranks into hotness blocks per §6.3 — log-scale levels, fine
+// splitting with a 0.5% size cap and at least N blocks per level — while
+// honouring the given mandatory cut points (policies cut at capacity
+// boundaries so a block never straddles a cache edge). If the block budget
+// would be exceeded, the size cap doubles until it fits.
+func (c *ctx) build(cuts ...int64) []Block {
+	e := c.numEntries()
+	n := int64(c.in.P.N)
+
+	// Segment boundaries: level starts plus mandatory cuts.
+	bset := map[int64]struct{}{0: {}, e: {}}
+	lvlOf := func(h float64) int {
+		if h <= 0 {
+			return math.MinInt32
+		}
+		return int(math.Floor(math.Log2(h)))
+	}
+	cur := lvlOf(c.in.Hotness[c.ranked[0]])
+	for r := int64(1); r < e; r++ {
+		if l := lvlOf(c.in.Hotness[c.ranked[r]]); l != cur {
+			bset[r] = struct{}{}
+			cur = l
+		}
+	}
+	for _, cut := range cuts {
+		if cut > 0 && cut < e {
+			bset[cut] = struct{}{}
+		}
+	}
+	bounds := make([]int64, 0, len(bset))
+	for b := range bset {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+	budget := int64(c.in.blockBudget())
+	// A budget below the level count cannot be met by size capping alone;
+	// fall back to equal-hotness-mass quantile boundaries (still merged
+	// with the mandatory cuts) so tiny exact models stay tiny.
+	if int64(len(bounds)-1) > budget {
+		bounds = c.quantileBounds(budget, cuts)
+	}
+	sizeCap := int64(math.Ceil(float64(e) * 0.005))
+	if sizeCap < 1 {
+		sizeCap = 1
+	}
+	for {
+		count := int64(0)
+		for s := 0; s+1 < len(bounds); s++ {
+			count += numBlocks(bounds[s+1]-bounds[s], n, sizeCap)
+		}
+		if count <= budget || sizeCap >= e {
+			break
+		}
+		sizeCap *= 2
+	}
+
+	var blocks []Block
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		size := blockSize(hi-lo, n, sizeCap)
+		for b := lo; b < hi; b += size {
+			end := b + size
+			if end > hi {
+				end = hi
+			}
+			blocks = append(blocks, Block{
+				Start: b, End: end,
+				HotPerEntry: c.mass(b, end) / float64(end-b),
+				Store:       make([]bool, c.in.P.N),
+				Access:      newHostAccess(c.in),
+			})
+		}
+	}
+	return blocks
+}
+
+// quantileBounds splits rank space into at most budget/N equal-hotness-mass
+// segments (so that after the ≥N fine-splitting the block count still fits
+// the budget), merged with the mandatory cuts.
+func (c *ctx) quantileBounds(budget int64, cuts []int64) []int64 {
+	e := c.numEntries()
+	segs := budget / int64(c.in.P.N)
+	if segs < 1 {
+		segs = 1
+	}
+	total := c.prefix[e]
+	bset := map[int64]struct{}{0: {}, e: {}}
+	if total > 0 {
+		r := int64(0)
+		for k := int64(1); k < segs; k++ {
+			target := total * float64(k) / float64(segs)
+			for r < e && c.prefix[r+1] < target {
+				r++
+			}
+			if r > 0 && r < e {
+				bset[r] = struct{}{}
+			}
+		}
+	}
+	for _, cut := range cuts {
+		if cut > 0 && cut < e {
+			bset[cut] = struct{}{}
+		}
+	}
+	bounds := make([]int64, 0, len(bset))
+	for b := range bset {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	return bounds
+}
+
+// newHostAccess returns an access arrangement where every GPU falls back to
+// host — the state of an uncached block.
+func newHostAccess(in *Input) []platform.SourceID {
+	acc := make([]platform.SourceID, in.P.N)
+	for i := range acc {
+		acc[i] = in.P.Host()
+	}
+	return acc
+}
+
+func blockSize(l, n, sizeCap int64) int64 {
+	size := (l + n - 1) / n // ceil(L/N): at least N blocks per segment
+	if size > sizeCap {
+		size = sizeCap
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+func numBlocks(l, n, sizeCap int64) int64 {
+	size := blockSize(l, n, sizeCap)
+	return (l + size - 1) / size
+}
+
+// buildQuantile builds at most maxBlocks equal-hotness-mass blocks with no
+// per-level fine splitting — the tiny exact models (OptimalLP's general
+// formulation) need hard control of the block count.
+func (c *ctx) buildQuantile(maxBlocks int) []Block {
+	e := c.numEntries()
+	segs := int64(maxBlocks)
+	if segs < 1 {
+		segs = 1
+	}
+	if segs > e {
+		segs = e
+	}
+	total := c.prefix[e]
+	bset := map[int64]struct{}{0: {}, e: {}}
+	if total > 0 {
+		r := int64(0)
+		for k := int64(1); k < segs; k++ {
+			target := total * float64(k) / float64(segs)
+			for r < e && c.prefix[r+1] < target {
+				r++
+			}
+			if r > 0 && r < e {
+				bset[r] = struct{}{}
+			}
+		}
+	}
+	bounds := make([]int64, 0, len(bset))
+	for b := range bset {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	blocks := make([]Block, 0, len(bounds)-1)
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		blocks = append(blocks, Block{
+			Start: lo, End: hi,
+			HotPerEntry: c.mass(lo, hi) / float64(hi-lo),
+			Store:       make([]bool, c.in.P.N),
+			Access:      newHostAccess(c.in),
+		})
+	}
+	return blocks
+}

@@ -1,0 +1,132 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"ugache/internal/lp"
+	"ugache/internal/milp"
+	"ugache/internal/platform"
+	"ugache/internal/workload"
+)
+
+// buildEntryMILP constructs the paper's §6.2 model at *entry* granularity
+// with binary storage/access variables — the formulation the paper hands to
+// Gurobi — for a micro instance, so branch and bound stays tractable.
+func buildEntryMILP(t *testing.T, in *Input, m *costModel) (*lp.Problem, []int, func(sol []float64) float64) {
+	t.Helper()
+	p := in.P
+	g := p.N
+	srcs := p.NumSources()
+	n := len(in.Hotness)
+	av := func(e, i, j int) int { return (e*g+i)*srcs + j }
+	sv := func(e, j int) int { return n*g*srcs + e*g + j }
+	zVar := n*g*srcs + n*g
+	obj := make([]float64, zVar+1)
+	obj[zVar] = 1
+	prob, err := lp.NewProblem(zVar+1, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1.0
+	if tot := workload.Hotness(in.Hotness).Total() * float64(in.EntryBytes); tot > 0 {
+		scale = 1 / (tot * m.invEff[0][srcs-1])
+	}
+	var ints []int
+	for e := 0; e < n; e++ {
+		for i := 0; i < g; i++ {
+			var sum []lp.Coef
+			for j := 0; j < srcs; j++ {
+				if math.IsInf(m.invEff[i][j], 1) {
+					continue
+				}
+				sum = append(sum, lp.Coef{Var: av(e, i, j), Value: 1})
+				ints = append(ints, av(e, i, j))
+			}
+			if err := prob.AddConstraint(sum, lp.EQ, 1); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < g; j++ {
+				if math.IsInf(m.invEff[i][j], 1) {
+					continue
+				}
+				prob.AddConstraint([]lp.Coef{
+					{Var: sv(e, j), Value: 1}, {Var: av(e, i, j), Value: -1},
+				}, lp.GE, 0)
+			}
+		}
+		for j := 0; j < g; j++ {
+			prob.AddConstraint([]lp.Coef{{Var: sv(e, j), Value: 1}}, lp.LE, 1)
+			ints = append(ints, sv(e, j))
+		}
+	}
+	for j := 0; j < g; j++ {
+		coefs := make([]lp.Coef, 0, n)
+		for e := 0; e < n; e++ {
+			coefs = append(coefs, lp.Coef{Var: sv(e, j), Value: 1})
+		}
+		prob.AddConstraint(coefs, lp.LE, float64(in.Capacity[j]))
+	}
+	for i := 0; i < g; i++ {
+		pack := []lp.Coef{{Var: zVar, Value: 1}}
+		for j := 0; j < srcs; j++ {
+			if math.IsInf(m.invEff[i][j], 1) {
+				continue
+			}
+			link := []lp.Coef{{Var: zVar, Value: 1}}
+			for e := 0; e < n; e++ {
+				bytes := in.Hotness[e] * float64(in.EntryBytes) * scale
+				link = append(link, lp.Coef{Var: av(e, i, j), Value: -bytes * m.invEff[i][j]})
+				pack = append(pack, lp.Coef{Var: av(e, i, j), Value: -bytes * m.packCost[i][j]})
+			}
+			prob.AddConstraint(link, lp.GE, 0)
+		}
+		prob.AddConstraint(pack, lp.GE, 0)
+	}
+	objective := func(sol []float64) float64 { return sol[zVar] / scale }
+	return prob, ints, objective
+}
+
+// TestUGacheMatchesEntryMILP cross-validates the entire solver chain on a
+// micro instance: the block-LP UGache solution must land within a few
+// percent of the exact entry-granularity MILP optimum (branch and bound).
+func TestUGacheMatchesEntryMILP(t *testing.T) {
+	// A 2-GPU custom platform keeps the MILP small.
+	pair := [][]float64{{0, 50e9}, {50e9, 0}}
+	p, err := platform.New(platform.Config{
+		Name: "2xV100", Kind: platform.HardWired, GPU: platform.V100x16, N: 2,
+		PCIeBW: 12e9, DRAMBW: 140e9, PairBW: pair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	h := make(workload.Hotness, n)
+	for e := 0; e < n; e++ {
+		h[e] = math.Pow(float64(e+1), -1.2) * 1000
+	}
+	in := &Input{P: p, Hotness: h, EntryBytes: 512, Capacity: []int64{4, 4}}
+
+	m := newCostModel(p)
+	prob, ints, objective := buildEntryMILP(t, in, m)
+	sol, err := milp.Solve(prob, ints, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || !sol.Complete {
+		t.Fatalf("MILP status %v complete %v (nodes %d)", sol.Status, sol.Complete, sol.Nodes)
+	}
+	exact := objective(sol.X)
+
+	ug := mustSolve(t, UGache{}, in)
+	got := maxF(ug.EstTimes)
+	if got < exact*(1-1e-6) {
+		t.Fatalf("ugache %g beats the exact optimum %g (model inconsistency)", got, exact)
+	}
+	if got > exact*1.10 {
+		t.Fatalf("ugache %g is %.1f%% above the exact optimum %g",
+			got, 100*(got/exact-1), exact)
+	}
+	t.Logf("exact entry-MILP optimum %.4g, UGache %.4g (gap %.2f%%)",
+		exact, got, 100*(got/exact-1))
+}

@@ -1,0 +1,124 @@
+package solver
+
+import (
+	"math"
+
+	"ugache/internal/platform"
+)
+
+// costModel caches the per-(destination, source) constants of the §6.2
+// extraction-time model for one platform:
+//
+//	t_i^j     = B_{i←j} / effBW(i, j)              (link-bound time)
+//	packing_i = Σ_j B_{i←j} / (rcore(i,j) · SMs)   (core-seconds, ≙ the
+//	            paper's Σ_j t_i^j·R_{i←j}: with R_j = tolerance_j/SMs the
+//	            two forms are algebraically identical)
+//	t_i       = max(max_j t_i^j, packing_i)
+//
+// where B_{i←j} is the bytes GPU i pulls from source j per iteration under
+// the placement's access arrangement and the hotness statistics.
+type costModel struct {
+	p *platform.Platform
+	// invEff[i][j]: 1/effective bandwidth (seconds per byte), +Inf when
+	// unreachable.
+	invEff [][]float64
+	// packCost[i][j]: core-seconds per byte divided by total cores.
+	packCost [][]float64
+}
+
+func newCostModel(p *platform.Platform) *costModel {
+	m := &costModel{p: p}
+	srcs := p.NumSources()
+	m.invEff = make([][]float64, p.N)
+	m.packCost = make([][]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		m.invEff[i] = make([]float64, srcs)
+		m.packCost[i] = make([]float64, srcs)
+		for j := 0; j < srcs; j++ {
+			src := platform.SourceID(j)
+			bw, ok := p.EffectiveBW(i, src)
+			if !ok {
+				m.invEff[i][j] = math.Inf(1)
+				m.packCost[i][j] = math.Inf(1)
+				continue
+			}
+			m.invEff[i][j] = 1 / bw
+			m.packCost[i][j] = 1 / (p.RCore(i, src) * float64(p.GPU.SMs))
+		}
+	}
+	return m
+}
+
+// perByteCost returns a scalar per-byte cost of GPU i reading from source
+// j, used by greedy source selection: the packing cost plus the link-bound
+// inverse bandwidth (so slower links are avoided even when core budget is
+// not the binding term). Infinite for unreachable sources.
+func (m *costModel) perByteCost(i int, j platform.SourceID) float64 {
+	return m.packCost[i][j] + m.invEff[i][j]
+}
+
+// volumes accumulates B_{i←j} in bytes for a placement. When byRank is
+// non-nil, block masses are recomputed from the input's hotness through the
+// rank mapping (so the model can be re-evaluated under NEW hotness with an
+// OLD placement — the §7.2 refresh trigger); otherwise the solve-time
+// per-block masses are used.
+func volumes(in *Input, blocks []Block, byRank []int32) [][]float64 {
+	srcs := in.P.NumSources()
+	b := make([][]float64, in.P.N)
+	for i := range b {
+		b[i] = make([]float64, srcs)
+	}
+	for bi := range blocks {
+		blk := &blocks[bi]
+		mass := blk.Mass()
+		if byRank != nil {
+			mass = 0
+			for r := blk.Start; r < blk.End; r++ {
+				mass += in.Hotness[byRank[r]]
+			}
+		}
+		bytes := mass * float64(in.EntryBytes)
+		for i := 0; i < in.P.N; i++ {
+			b[i][blk.Access[i]] += bytes
+		}
+	}
+	return b
+}
+
+// times evaluates the model for the given volume matrix.
+func (m *costModel) times(vol [][]float64) []float64 {
+	out := make([]float64, m.p.N)
+	for i := 0; i < m.p.N; i++ {
+		packing := 0.0
+		linkBound := 0.0
+		for j, bytes := range vol[i] {
+			if bytes == 0 {
+				continue
+			}
+			packing += bytes * m.packCost[i][j]
+			if t := bytes * m.invEff[i][j]; t > linkBound {
+				linkBound = t
+			}
+		}
+		out[i] = math.Max(packing, linkBound)
+	}
+	return out
+}
+
+// EstimateTimes evaluates the §6.2 model for a finished placement: the
+// per-GPU estimated extraction seconds per iteration.
+func EstimateTimes(in *Input, pl *Placement) []float64 {
+	return newCostModel(in.P).times(volumes(in, pl.Blocks, pl.ByRank))
+}
+
+// EstimateMakespan returns max_i EstimateTimes.
+func EstimateMakespan(in *Input, pl *Placement) float64 {
+	t := EstimateTimes(in, pl)
+	max := 0.0
+	for _, v := range t {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,470 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"ugache/internal/lp"
+	"ugache/internal/platform"
+)
+
+// OptimalLP computes the theoretically optimal cache policy of §6.2 by
+// solving the block-granularity linear program exactly (the paper solves
+// the same model with Gurobi; Fig. 16 compares UGache's approximation
+// against it). Because hotness blocks are divisible sets of interchangeable
+// entries, the LP relaxation of the MILP is itself realizable, so no
+// integrality gap is lost at block granularity.
+//
+// Two formulations are used:
+//
+//   - on symmetric platforms (uniform fully connected or switch-based, with
+//     equal capacities) the model collapses to per-block replication counts,
+//     which scales to the full default block budget and is realized exactly;
+//   - on asymmetric platforms (DGX-1) the full a/s-variable model is built;
+//     it only fits the dense simplex for small block budgets, mirroring how
+//     the paper, too, had to shrink Server B instances ("SYN-As/Bs") to
+//     obtain an optimal reference. The realized placement rounds storage
+//     fractions; LowerBound carries the exact LP objective.
+type OptimalLP struct {
+	// MaxGeneralBlocks caps the asymmetric formulation (0 = 12).
+	MaxGeneralBlocks int
+}
+
+// Name implements Policy.
+func (OptimalLP) Name() string { return "optimal-lp" }
+
+// Solve implements Policy.
+func (o OptimalLP) Solve(in *Input) (*Placement, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if symmetric(in) {
+		budget := in.BlockBudget
+		if budget == 0 {
+			budget = 768 // finer than UGache's default: the reference policy
+		}
+		pl, err := solveSymmetricLP(in, budget)
+		if err != nil {
+			return nil, err
+		}
+		pl.Policy = "optimal-lp"
+		return pl, nil
+	}
+	return o.solveGeneral(in)
+}
+
+// symmetric reports whether every GPU sees an identical platform and
+// capacity.
+func symmetric(in *Input) bool {
+	for _, cap := range in.Capacity {
+		if cap != in.Capacity[0] {
+			return false
+		}
+	}
+	p := in.P
+	if p.N == 1 {
+		return true
+	}
+	var bw float64
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			if i == j {
+				continue
+			}
+			if !p.Connected(i, j) {
+				return false
+			}
+			if bw == 0 {
+				bw = p.PairBW[i][j]
+			}
+			if p.PairBW[i][j] != bw {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// solveSymmetricLP builds the replication-count LP:
+//
+//	min z
+//	s.t. Σ_c x[b][c] = 1                          ∀b
+//	     Σ_b n_b Σ_c x[b][c]·c/G        ≤ cap     (per-GPU, symmetric)
+//	     z ≥ localBytes/localBW
+//	     z ≥ remoteBytes/((G−1)·pairBW)
+//	     z ≥ hostBytes/hostBW
+//	     z ≥ Σ src bytes·packCost                 (packing bound)
+//
+// where localBytes/remoteBytes/hostBytes are linear in x.
+func solveSymmetricLP(in *Input, budget int) (*Placement, error) {
+	inB := *in
+	inB.BlockBudget = budget
+	in = &inB
+	c := newCtx(in)
+	blocks := c.build()
+	g := in.P.N
+	m := newCostModel(in.P)
+	host := int(in.P.Host())
+
+	nb := len(blocks)
+	nx := nb * (g + 1)
+	zVar := nx
+	obj := make([]float64, nx+1)
+	obj[zVar] = 1
+	prob, err := lp.NewProblem(nx+1, obj)
+	if err != nil {
+		return nil, err
+	}
+	xv := func(b, cnt int) int { return b*(g+1) + cnt }
+
+	// Per-block distribution sums to 1.
+	for b := 0; b < nb; b++ {
+		coefs := make([]lp.Coef, 0, g+1)
+		for cnt := 0; cnt <= g; cnt++ {
+			coefs = append(coefs, lp.Coef{Var: xv(b, cnt), Value: 1})
+		}
+		if err := prob.AddConstraint(coefs, lp.EQ, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Capacity (symmetric per-GPU share c/G of each block's entries).
+	capCoefs := make([]lp.Coef, 0, nb*g)
+	for b := 0; b < nb; b++ {
+		n := float64(blocks[b].Entries())
+		for cnt := 1; cnt <= g; cnt++ {
+			capCoefs = append(capCoefs, lp.Coef{Var: xv(b, cnt), Value: n * float64(cnt) / float64(g)})
+		}
+	}
+	if err := prob.AddConstraint(capCoefs, lp.LE, float64(in.Capacity[0])); err != nil {
+		return nil, err
+	}
+	// Time bounds. Per-byte factors for reader 0 (all readers identical).
+	// The model is rescaled so the all-host objective is O(1): raw
+	// coefficients (seconds per byte times hotness) can sit below the
+	// simplex pivot tolerance otherwise.
+	remoteSrc := 0
+	if g > 1 {
+		remoteSrc = 1
+	}
+	totalBytes := c.mass(0, c.numEntries()) * float64(in.EntryBytes)
+	scale := 1.0
+	if totalBytes > 0 && m.invEff[0][host] > 0 {
+		scale = 1 / (totalBytes * m.invEff[0][host])
+	}
+	invLoc := m.invEff[0][0] * scale
+	invHost := m.invEff[0][host] * scale
+	packLoc := m.packCost[0][0] * scale
+	packHost := m.packCost[0][host] * scale
+	var invRem, packRem float64
+	if g > 1 {
+		invRem = m.invEff[0][remoteSrc] / float64(g-1) * scale // spread over G−1 links
+		packRem = m.packCost[0][remoteSrc] * scale
+	}
+	addTimeBound := func(weight func(b, cnt int) float64) error {
+		coefs := []lp.Coef{{Var: zVar, Value: 1}}
+		for b := 0; b < nb; b++ {
+			bytes := blocks[b].Mass() * float64(in.EntryBytes)
+			for cnt := 0; cnt <= g; cnt++ {
+				if w := weight(b, cnt); w != 0 {
+					coefs = append(coefs, lp.Coef{Var: xv(b, cnt), Value: -bytes * w})
+				}
+			}
+		}
+		return prob.AddConstraint(coefs, lp.GE, 0)
+	}
+	localFrac := func(cnt int) float64 { return float64(cnt) / float64(g) }
+	remoteFrac := func(cnt int) float64 {
+		if cnt == 0 {
+			return 0
+		}
+		return 1 - float64(cnt)/float64(g)
+	}
+	hostFrac := func(cnt int) float64 {
+		if cnt == 0 {
+			return 1
+		}
+		return 0
+	}
+	if err := addTimeBound(func(b, cnt int) float64 { return localFrac(cnt) * invLoc }); err != nil {
+		return nil, err
+	}
+	if g > 1 {
+		if err := addTimeBound(func(b, cnt int) float64 { return remoteFrac(cnt) * invRem }); err != nil {
+			return nil, err
+		}
+	}
+	if err := addTimeBound(func(b, cnt int) float64 { return hostFrac(cnt) * invHost }); err != nil {
+		return nil, err
+	}
+	if err := addTimeBound(func(b, cnt int) float64 {
+		return localFrac(cnt)*packLoc + remoteFrac(cnt)*packRem + hostFrac(cnt)*packHost
+	}); err != nil {
+		return nil, err
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("solver: optimal LP %v", sol.Status)
+	}
+
+	// Realize: split each block by its count distribution, round-robin the
+	// replica members, then rebalance access.
+	realized := realizeSymmetric(in, c, blocks, sol, xv)
+	pl := newPlacement(c, "optimal-lp", realized)
+	pl.LowerBound = sol.Objective / scale
+	return pl, nil
+}
+
+// realizeSymmetric turns the fractional count distribution into concrete
+// blocks: largest-remainder rounding of each block's count distribution (no
+// entries leak to buckets the LP did not choose), replica members picked by
+// most free capacity, and remote access spread across replicas by least
+// accumulated traffic.
+func realizeSymmetric(in *Input, c *ctx, blocks []Block, sol *lp.Solution, xv func(b, cnt int) int) []Block {
+	g := in.P.N
+	host := in.P.Host()
+	var out []Block
+	capLeft := append([]int64(nil), in.Capacity...)
+	vol := make([]float64, g) // per-source accumulated remote traffic
+	for b := range blocks {
+		blk := &blocks[b]
+		sizes := roundDistribution(blk.Entries(), g, func(cnt int) float64 {
+			return sol.X[xv(b, cnt)]
+		})
+		start := blk.Start
+		for cnt := 0; cnt <= g; cnt++ {
+			n := sizes[cnt]
+			if n == 0 {
+				continue
+			}
+			nb := Block{
+				Start: start, End: start + n,
+				HotPerEntry: blockMean(c, start, start+n),
+				Store:       make([]bool, g),
+				Access:      newHostAccess(in),
+			}
+			for k := 0; k < cnt; k++ {
+				m := -1
+				for j := 0; j < g; j++ {
+					if nb.Store[j] || capLeft[j] < n {
+						continue
+					}
+					if m < 0 || capLeft[j] > capLeft[m] {
+						m = j
+					}
+				}
+				if m < 0 {
+					break
+				}
+				nb.Store[m] = true
+				capLeft[m] -= n
+			}
+			for i := 0; i < g; i++ {
+				if nb.Store[i] {
+					nb.Access[i] = platform.SourceID(i)
+					continue
+				}
+				best, bestVol := host, math.Inf(1)
+				for j := 0; j < g; j++ {
+					if nb.Store[j] && vol[j] < bestVol {
+						best, bestVol = platform.SourceID(j), vol[j]
+					}
+				}
+				nb.Access[i] = best
+				if int(best) < g {
+					vol[best] += nb.Mass()
+				}
+			}
+			out = append(out, nb)
+			start += n
+		}
+	}
+	return out
+}
+
+// roundDistribution apportions n entries across buckets 0..g proportionally
+// to frac(cnt) using the largest-remainder method; the result sums to n
+// exactly. A degenerate all-zero distribution lands in bucket 0 (host).
+func roundDistribution(n int64, g int, frac func(cnt int) float64) []int64 {
+	sizes := make([]int64, g+1)
+	total := 0.0
+	for cnt := 0; cnt <= g; cnt++ {
+		if f := frac(cnt); f > 0 {
+			total += f
+		}
+	}
+	if total <= 0 {
+		sizes[0] = n
+		return sizes
+	}
+	rem := make([]float64, g+1)
+	var assigned int64
+	for cnt := 0; cnt <= g; cnt++ {
+		f := frac(cnt)
+		if f < 0 {
+			f = 0
+		}
+		exact := float64(n) * f / total
+		fl := int64(exact)
+		sizes[cnt] = fl
+		assigned += fl
+		rem[cnt] = exact - float64(fl)
+	}
+	for assigned < n {
+		best := 0
+		for cnt := 1; cnt <= g; cnt++ {
+			if rem[cnt] > rem[best] {
+				best = cnt
+			}
+		}
+		sizes[best]++
+		rem[best] = -1
+		assigned++
+	}
+	return sizes
+}
+
+func blockMean(c *ctx, start, end int64) float64 {
+	if end <= start {
+		return 0
+	}
+	return c.mass(start, end) / float64(end-start)
+}
+
+// solveGeneral builds the full §6.2 block model with per-reader access
+// variables for asymmetric platforms.
+func (o OptimalLP) solveGeneral(in *Input) (*Placement, error) {
+	maxBlocks := o.MaxGeneralBlocks
+	if maxBlocks <= 0 {
+		maxBlocks = 22 // as many as the dense simplex's row limit allows
+	}
+	c := newCtx(in)
+	blocks := c.buildQuantile(maxBlocks)
+	g := in.P.N
+	srcs := in.P.NumSources()
+	m := newCostModel(in.P)
+	nb := len(blocks)
+	totalBytes := c.mass(0, c.numEntries()) * float64(in.EntryBytes)
+	scale := 1.0
+	if hostInv := m.invEff[0][int(in.P.Host())]; totalBytes > 0 && hostInv > 0 {
+		scale = 1 / (totalBytes * hostInv)
+	}
+
+	// Variables: a[b][i][j], s[b][j'] (j' over GPUs only), z.
+	av := func(b, i, j int) int { return (b*g+i)*srcs + j }
+	sv := func(b, j int) int { return nb*g*srcs + b*g + j }
+	zVar := nb*g*srcs + nb*g
+	obj := make([]float64, zVar+1)
+	obj[zVar] = 1
+	prob, err := lp.NewProblem(zVar+1, obj)
+	if err != nil {
+		return nil, err
+	}
+
+	for b := 0; b < nb; b++ {
+		bytes := blocks[b].Mass() * float64(in.EntryBytes)
+		for i := 0; i < g; i++ {
+			// Σ_j a = 1 over reachable sources.
+			var coefs []lp.Coef
+			for j := 0; j < srcs; j++ {
+				if math.IsInf(m.invEff[i][j], 1) {
+					continue // unconnected: variable pruned (paper §6.2)
+				}
+				coefs = append(coefs, lp.Coef{Var: av(b, i, j), Value: 1})
+			}
+			if err := prob.AddConstraint(coefs, lp.EQ, 1); err != nil {
+				return nil, err
+			}
+			// s ≥ a for GPU sources.
+			for j := 0; j < g; j++ {
+				if math.IsInf(m.invEff[i][j], 1) {
+					continue
+				}
+				if err := prob.AddConstraint([]lp.Coef{
+					{Var: sv(b, j), Value: 1}, {Var: av(b, i, j), Value: -1},
+				}, lp.GE, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// s ≤ 1.
+		for j := 0; j < g; j++ {
+			if err := prob.AddConstraint([]lp.Coef{{Var: sv(b, j), Value: 1}}, lp.LE, 1); err != nil {
+				return nil, err
+			}
+		}
+		_ = bytes
+	}
+	// Capacity per GPU.
+	for j := 0; j < g; j++ {
+		coefs := make([]lp.Coef, 0, nb)
+		for b := 0; b < nb; b++ {
+			coefs = append(coefs, lp.Coef{Var: sv(b, j), Value: float64(blocks[b].Entries())})
+		}
+		if err := prob.AddConstraint(coefs, lp.LE, float64(in.Capacity[j])); err != nil {
+			return nil, err
+		}
+	}
+	// Time bounds: z ≥ t_i^j (link) and z ≥ packing_i.
+	for i := 0; i < g; i++ {
+		var packCoefs []lp.Coef
+		packCoefs = append(packCoefs, lp.Coef{Var: zVar, Value: 1})
+		for j := 0; j < srcs; j++ {
+			if math.IsInf(m.invEff[i][j], 1) {
+				continue
+			}
+			coefs := []lp.Coef{{Var: zVar, Value: 1}}
+			for b := 0; b < nb; b++ {
+				bytes := blocks[b].Mass() * float64(in.EntryBytes) * scale
+				coefs = append(coefs, lp.Coef{Var: av(b, i, j), Value: -bytes * m.invEff[i][j]})
+				packCoefs = append(packCoefs, lp.Coef{Var: av(b, i, j), Value: -bytes * m.packCost[i][j]})
+			}
+			if err := prob.AddConstraint(coefs, lp.GE, 0); err != nil {
+				return nil, err
+			}
+		}
+		if err := prob.AddConstraint(packCoefs, lp.GE, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("solver: general optimal LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("solver: general optimal LP %v", sol.Status)
+	}
+
+	// Round: store where s ≥ 0.5, then greedy-repair capacity and reassign
+	// access by cheapest reachable source.
+	capLeft := append([]int64(nil), in.Capacity...)
+	for b := 0; b < nb; b++ {
+		blk := &blocks[b]
+		for j := 0; j < g; j++ {
+			if sol.X[sv(b, j)] >= 0.5 && capLeft[j] >= blk.Entries() {
+				blk.Store[j] = true
+				capLeft[j] -= blk.Entries()
+			}
+		}
+		for i := 0; i < g; i++ {
+			best := in.P.Host()
+			bestCost := m.perByteCost(i, best)
+			for j := 0; j < g; j++ {
+				if !blk.Store[j] || (i != j && !in.P.Connected(i, j)) {
+					continue
+				}
+				if cost := m.perByteCost(i, platform.SourceID(j)); cost < bestCost {
+					best, bestCost = platform.SourceID(j), cost
+				}
+			}
+			blk.Access[i] = best
+		}
+	}
+	pl := newPlacement(c, "optimal-lp", blocks)
+	pl.LowerBound = sol.Objective / scale
+	return pl, nil
+}

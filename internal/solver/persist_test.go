@@ -1,0 +1,70 @@
+package solver
+
+import (
+	"bytes"
+	"testing"
+
+	"ugache/internal/platform"
+)
+
+func TestPlacementSaveLoadRoundTrip(t *testing.T) {
+	p := platform.ServerC()
+	in := testInput(t, p, 8000, 1.1, 0.07)
+	pl := mustSolve(t, UGache{}, in)
+
+	var buf bytes.Buffer
+	if err := pl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlacement(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != pl.Policy || got.NumGPUs != pl.NumGPUs || got.EntryBytes != pl.EntryBytes {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.NumEntries() != pl.NumEntries() || len(got.Blocks) != len(pl.Blocks) {
+		t.Fatal("shape mismatch")
+	}
+	// Loaded placement validates against the original input and answers
+	// identically.
+	if err := got.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	for e := int64(0); e < got.NumEntries(); e += 97 {
+		for g := 0; g < p.N; g++ {
+			if got.SourceOf(g, e) != pl.SourceOf(g, e) {
+				t.Fatalf("SourceOf(%d, %d) differs after roundtrip", g, e)
+			}
+			if got.StoredOn(g, e) != pl.StoredOn(g, e) {
+				t.Fatalf("StoredOn(%d, %d) differs after roundtrip", g, e)
+			}
+		}
+	}
+	// Re-evaluated model times match.
+	a := EstimateTimes(in, pl)
+	b := EstimateTimes(in, got)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("EstimateTimes differ after roundtrip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadPlacementRejectsGarbage(t *testing.T) {
+	if _, err := LoadPlacement(bytes.NewReader([]byte("definitely not a placement"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated stream.
+	p := platform.ServerA()
+	in := testInput(t, p, 1000, 1.1, 0.1)
+	pl := mustSolve(t, Replication{}, in)
+	var buf bytes.Buffer
+	if err := pl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadPlacement(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

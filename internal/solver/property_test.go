@@ -1,0 +1,169 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"ugache/internal/platform"
+	"ugache/internal/rng"
+	"ugache/internal/workload"
+)
+
+// TestRandomInputsAllPoliciesValid fuzzes solver inputs (entry counts,
+// skews, capacities, platforms) and checks that every policy emits a
+// placement satisfying the §6.2 invariants.
+func TestRandomInputsAllPoliciesValid(t *testing.T) {
+	r := rng.New(2024)
+	platforms := []*platform.Platform{platform.ServerA(), platform.ServerB(), platform.ServerC()}
+	policies := []Policy{
+		Replication{}, Partition{}, CliquePartition{}, RepPart{Candidates: 5},
+		UGacheGreedy{}, UGache{},
+	}
+	for trial := 0; trial < 25; trial++ {
+		p := platforms[r.Intn(len(platforms))]
+		n := 500 + r.Intn(20000)
+		alpha := 0.5 + r.Float64()*1.2
+		h := make(workload.Hotness, n)
+		perm := r.Perm(n)
+		for rank := 0; rank < n; rank++ {
+			h[perm[rank]] = math.Pow(float64(rank+1), -alpha)
+		}
+		// A random fraction of entries is never accessed.
+		for e := 0; e < n/10; e++ {
+			h[r.Intn(n)] = 0
+		}
+		caps := make([]int64, p.N)
+		for g := range caps {
+			caps[g] = int64(r.Float64() * 0.3 * float64(n))
+		}
+		in := &Input{P: p, Hotness: h, EntryBytes: 8 * (1 + r.Intn(128)), Capacity: caps}
+		for _, pol := range policies {
+			pl, err := pol.Solve(in)
+			if err != nil {
+				t.Fatalf("trial %d %s on %s (n=%d): %v", trial, pol.Name(), p.Name, n, err)
+			}
+			if err := pl.Validate(in); err != nil {
+				t.Fatalf("trial %d %s on %s: invalid: %v", trial, pol.Name(), p.Name, err)
+			}
+			// Times finite and non-negative.
+			for g, et := range pl.EstTimes {
+				if et < 0 || math.IsNaN(et) || math.IsInf(et, 0) {
+					t.Fatalf("trial %d %s: est time gpu %d = %g", trial, pol.Name(), g, et)
+				}
+			}
+		}
+	}
+}
+
+// TestZeroCapacityDegradesToHost checks that with no cache at all, every
+// policy routes everything to host and the model prices it identically.
+func TestZeroCapacityDegradesToHost(t *testing.T) {
+	p := platform.ServerC()
+	in := testInput(t, p, 2000, 1.1, 0)
+	for g := range in.Capacity {
+		in.Capacity[g] = 0
+	}
+	for _, pol := range []Policy{Replication{}, Partition{}, UGache{}} {
+		pl := mustSolve(t, pol, in)
+		st := pl.Stats(in.Hotness)
+		for g := range st {
+			if st[g].Host < 1-1e-9 {
+				t.Fatalf("%s: gpu %d host share %g with zero capacity", pol.Name(), g, st[g].Host)
+			}
+		}
+	}
+}
+
+// TestFullCapacityAllLocal checks that with room for everything, UGache
+// replicates everything and never touches remote or host.
+func TestFullCapacityAllLocal(t *testing.T) {
+	p := platform.ServerC()
+	in := testInput(t, p, 2000, 1.1, 1.0)
+	pl := mustSolve(t, UGache{}, in)
+	st := pl.Stats(in.Hotness)
+	for g := range st {
+		if st[g].Local < 1-1e-6 {
+			t.Fatalf("gpu %d local share %g with full capacity", g, st[g].Local)
+		}
+	}
+}
+
+// TestUGacheNeverWorseThanBaselinesOnModel sweeps random instances and
+// checks the defining guarantee: UGache's modelled makespan is never
+// (materially) worse than replication's, partition's, or rep-part's.
+func TestUGacheNeverWorseThanBaselinesOnModel(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 12; trial++ {
+		p := platform.ServerC()
+		if trial%3 == 1 {
+			p = platform.ServerA()
+		}
+		if trial%3 == 2 {
+			p = platform.ServerB()
+		}
+		n := 2000 + r.Intn(30000)
+		alpha := 0.6 + r.Float64()
+		ratio := 0.01 + r.Float64()*0.25
+		in := &Input{
+			P:          p,
+			Hotness:    zipfHotness(n, alpha, 100000, r.Uint64()),
+			EntryBytes: 256,
+			Capacity:   make([]int64, p.N),
+		}
+		for g := range in.Capacity {
+			in.Capacity[g] = int64(ratio * float64(n))
+		}
+		ug := mustSolve(t, UGache{}, in)
+		for _, pol := range []Policy{Replication{}, CliquePartition{}, RepPart{}} {
+			base := mustSolve(t, pol, in)
+			if maxF(ug.EstTimes) > maxF(base.EstTimes)*1.03 {
+				t.Fatalf("trial %d on %s (n=%d α=%.2f ratio=%.2f): ugache %g worse than %s %g",
+					trial, p.Name, n, alpha, ratio,
+					maxF(ug.EstTimes), pol.Name(), maxF(base.EstTimes))
+			}
+		}
+	}
+}
+
+// TestLowerBoundIsABound: wherever UGache reports an LP lower bound, the
+// realized modelled time respects it.
+func TestLowerBoundIsABound(t *testing.T) {
+	p := platform.ServerC()
+	for _, ratio := range []float64{0.02, 0.08, 0.2} {
+		in := testInput(t, p, 20000, 1.2, ratio)
+		pl := mustSolve(t, UGache{}, in)
+		if pl.LowerBound == 0 {
+			t.Fatal("symmetric platform should report a bound")
+		}
+		if got := maxF(pl.EstTimes); got < pl.LowerBound*(1-1e-6) {
+			t.Fatalf("ratio %g: realized %g beats its own bound %g", ratio, got, pl.LowerBound)
+		}
+	}
+}
+
+// TestHeterogeneousCapacities checks that unequal per-GPU budgets (e.g. a
+// deployment sharing GPUs with other jobs) are respected and still yield a
+// competitive placement via the heuristic path.
+func TestHeterogeneousCapacities(t *testing.T) {
+	p := platform.ServerC()
+	in := testInput(t, p, 20000, 1.1, 0.08)
+	// GPU 0 has almost no budget; GPU 7 has double.
+	in.Capacity[0] = 50
+	in.Capacity[7] *= 2
+	pl := mustSolve(t, UGache{}, in)
+	used := pl.CapacityUsed()
+	if used[0] > 50 {
+		t.Fatalf("gpu0 used %d of 50", used[0])
+	}
+	// The starved GPU still reads hot entries from its peers.
+	st := pl.Stats(in.Hotness)
+	if st[0].Remote < 0.2 {
+		t.Fatalf("starved gpu should lean on peers: %+v", st[0])
+	}
+	// And the placement beats plain replication (which wastes the big GPU).
+	rep := mustSolve(t, Replication{}, in)
+	if maxF(pl.EstTimes) > maxF(rep.EstTimes)*1.03 {
+		t.Fatalf("ugache %g worse than replication %g under heterogeneity",
+			maxF(pl.EstTimes), maxF(rep.EstTimes))
+	}
+}

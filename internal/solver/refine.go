@@ -1,0 +1,146 @@
+package solver
+
+import "ugache/internal/platform"
+
+// refine runs swap-based local search after the lazy-greedy construction:
+// for each GPU, it repeatedly tries to evict the stored block with the
+// smallest removal cost and reinvest the freed capacity in the insertion
+// with the largest benefit. Pure greedy cannot undo an early placement that
+// later turns out mediocre; a few swap rounds recover most of that loss on
+// asymmetric platforms (the greedy path only runs where the exact LP does
+// not fit).
+func (st *gstate) refine(rounds int) {
+	for round := 0; round < rounds; round++ {
+		improved := false
+		for g := 0; g < st.in.P.N; g++ {
+			if st.trySwap(g) {
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// trySwap attempts one beneficial swap on GPU g; it reports whether a swap
+// was applied.
+func (st *gstate) trySwap(g int) bool {
+	// Cheapest removals first: a few candidates with the lowest removal
+	// cost per entry.
+	type cand struct {
+		block int
+		cost  float64
+	}
+	var worst cand
+	worstSet := false
+	for bi := range st.blocks {
+		if !st.blocks[bi].Store[g] {
+			continue
+		}
+		cost := st.removalCost(bi, g)
+		perEntry := cost / float64(st.blocks[bi].Entries())
+		if !worstSet || perEntry < worst.cost {
+			worst = cand{block: bi, cost: perEntry}
+			worstSet = true
+		}
+	}
+	if !worstSet {
+		return false
+	}
+	removalCost := st.removalCost(worst.block, g)
+
+	// Hypothetically remove, then search for the best insertion on g.
+	undo := st.remove(worst.block, g)
+	bestBlock, bestBenefit := -1, 0.0
+	for bi := range st.blocks {
+		if bi == worst.block {
+			continue
+		}
+		if b := st.evalMove(bi, g); b > bestBenefit {
+			bestBlock, bestBenefit = bi, b
+		}
+	}
+	if bestBlock < 0 || bestBenefit <= removalCost*(1+1e-9) {
+		undo()
+		return false
+	}
+	st.apply(bestBlock, g)
+	return true
+}
+
+// removalCost computes the weighted score increase of dropping block bi
+// from GPU g (readers reroute to their next-best source), without mutating
+// state.
+func (st *gstate) removalCost(bi, g int) float64 {
+	b := &st.blocks[bi]
+	if !b.Store[g] {
+		return 0
+	}
+	bytes := b.Mass() * float64(st.in.EntryBytes)
+	cost := 0.0
+	for i := 0; i < st.in.P.N; i++ {
+		if int(b.Access[i]) != g {
+			continue
+		}
+		alt := st.nextBestSource(i, bi, g)
+		old := st.score[i]
+		st.vol[i][g] -= bytes
+		st.vol[i][alt] += bytes
+		cost += st.w[i] * (st.scoreOf(i) - old)
+		st.vol[i][alt] -= bytes
+		st.vol[i][g] += bytes
+	}
+	return cost
+}
+
+// remove drops block bi from GPU g, rerouting its readers, and returns an
+// undo closure restoring the exact prior state.
+func (st *gstate) remove(bi, g int) (undo func()) {
+	b := &st.blocks[bi]
+	bytes := b.Mass() * float64(st.in.EntryBytes)
+	prevAccess := append([]platform.SourceID(nil), b.Access...)
+	var movedReaders []int
+	b.Store[g] = false
+	st.capLeft[g] += b.Entries()
+	for i := 0; i < st.in.P.N; i++ {
+		if int(b.Access[i]) != g {
+			continue
+		}
+		alt := st.nextBestSource(i, bi, g)
+		st.vol[i][g] -= bytes
+		st.vol[i][alt] += bytes
+		b.Access[i] = alt
+		st.t[i] = st.timeOf(i)
+		st.score[i] = st.scoreOf(i)
+		movedReaders = append(movedReaders, i)
+	}
+	return func() {
+		b.Store[g] = true
+		st.capLeft[g] -= b.Entries()
+		for _, i := range movedReaders {
+			st.vol[i][b.Access[i]] -= bytes
+			st.vol[i][g] += bytes
+			b.Access[i] = prevAccess[i]
+			st.t[i] = st.timeOf(i)
+			st.score[i] = st.scoreOf(i)
+		}
+	}
+}
+
+// nextBestSource finds reader i's cheapest source for block bi excluding
+// GPU `excluding`.
+func (st *gstate) nextBestSource(i, bi, excluding int) platform.SourceID {
+	b := &st.blocks[bi]
+	best := st.host
+	bestCost := st.m.perByteCost(i, st.host)
+	for g := 0; g < st.in.P.N; g++ {
+		if g == excluding || !b.Store[g] || (g != i && !st.in.P.Connected(i, g)) {
+			continue
+		}
+		if cost := st.m.perByteCost(i, platform.SourceID(g)); cost < bestCost {
+			best, bestCost = platform.SourceID(g), cost
+		}
+	}
+	return best
+}

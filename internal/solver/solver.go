@@ -1,0 +1,266 @@
+// Package solver implements UGache's cache policy (paper §6): given the
+// hotness of every embedding entry, the platform's bandwidth hierarchy, and
+// per-GPU cache capacities, it decides the storage arrangement (which GPUs
+// hold which entries) and the access arrangement (which source each GPU
+// reads every entry from) so as to minimize the estimated extraction time.
+//
+// Entries are ranked by hotness and batched into log-scale hotness blocks
+// (§6.3); all policies emit a Placement over those contiguous rank ranges.
+// Besides UGache's solver the package provides the baseline policies the
+// paper compares against: replication (HPS/GNNLab-style), partition
+// (WholeGraph/SOK-style), clique partition (Quiver-style, for platforms
+// with unconnected GPU pairs), and the hot-replicate/warm-partition
+// heuristic of Song & Jiang [39].
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"ugache/internal/platform"
+	"ugache/internal/workload"
+)
+
+// Input bundles everything a policy needs.
+type Input struct {
+	P       *platform.Platform
+	Hotness workload.Hotness
+	// EntryBytes is the row size (uniform per dataset, as in the paper's
+	// datasets).
+	EntryBytes int
+	// Capacity[g] is GPU g's cache capacity in entries.
+	Capacity []int64
+	// BlockBudget caps the number of hotness blocks (0 = DefaultBlockBudget).
+	BlockBudget int
+}
+
+// DefaultBlockBudget bounds the block count; the paper reduces E "to less
+// than one thousand" blocks (§6.3).
+const DefaultBlockBudget = 512
+
+func (in *Input) validate() error {
+	if in.P == nil {
+		return fmt.Errorf("solver: nil platform")
+	}
+	if len(in.Hotness) == 0 {
+		return fmt.Errorf("solver: empty hotness")
+	}
+	if int64(len(in.Hotness)) > math.MaxInt32 {
+		return fmt.Errorf("solver: %d entries exceed int32 rank space", len(in.Hotness))
+	}
+	if in.EntryBytes <= 0 {
+		return fmt.Errorf("solver: EntryBytes must be positive")
+	}
+	if len(in.Capacity) != in.P.N {
+		return fmt.Errorf("solver: %d capacities for %d GPUs", len(in.Capacity), in.P.N)
+	}
+	for g, c := range in.Capacity {
+		if c < 0 {
+			return fmt.Errorf("solver: negative capacity on gpu %d", g)
+		}
+	}
+	for e, h := range in.Hotness {
+		if h < 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+			return fmt.Errorf("solver: bad hotness %g at entry %d", h, e)
+		}
+	}
+	return nil
+}
+
+func (in *Input) blockBudget() int {
+	if in.BlockBudget > 0 {
+		return in.BlockBudget
+	}
+	return DefaultBlockBudget
+}
+
+// Block is a contiguous range of hotness ranks with a common storage and
+// access arrangement.
+type Block struct {
+	// Start and End delimit the rank range [Start, End).
+	Start, End int64
+	// HotPerEntry is the mean per-entry hotness within the block.
+	HotPerEntry float64
+	// Store[g] reports whether GPU g caches the block.
+	Store []bool
+	// Access[i] is the source GPU i reads the block from (a GPU index or
+	// the platform's Host()).
+	Access []platform.SourceID
+}
+
+// Entries returns the block's entry count.
+func (b *Block) Entries() int64 { return b.End - b.Start }
+
+// Mass returns the block's total hotness (expected accesses/iteration).
+func (b *Block) Mass() float64 { return b.HotPerEntry * float64(b.Entries()) }
+
+// Placement is a solved cache policy: the coordination structure between
+// Solver, Filler, and Extractor (paper §4).
+type Placement struct {
+	Policy     string
+	NumGPUs    int
+	EntryBytes int
+	// Rank maps entry -> hotness rank (0 = hottest).
+	Rank []int32
+	// ByRank maps rank -> entry (inverse of Rank).
+	ByRank []int32
+	// Blocks are ordered by Start and tile [0, NumEntries).
+	Blocks []Block
+	// blockOfRank maps rank -> index into Blocks.
+	blockOfRank []int32
+	// EstTimes[g] is the model-estimated extraction time per iteration
+	// (§6.2), filled by policies that plan with the model.
+	EstTimes []float64
+	// LowerBound, when non-zero, is a proven lower bound on the optimal
+	// modelled makespan (set by OptimalLP).
+	LowerBound float64
+}
+
+// NumEntries returns the entry count.
+func (pl *Placement) NumEntries() int64 { return int64(len(pl.Rank)) }
+
+// BlockOf returns the block index covering an entry.
+func (pl *Placement) BlockOf(entry int64) int32 {
+	return pl.blockOfRank[pl.Rank[entry]]
+}
+
+// SourceOf returns where GPU dst reads the given entry from.
+func (pl *Placement) SourceOf(dst int, entry int64) platform.SourceID {
+	return pl.Blocks[pl.BlockOf(entry)].Access[dst]
+}
+
+// StoredOn reports whether GPU g caches the entry.
+func (pl *Placement) StoredOn(g int, entry int64) bool {
+	return pl.Blocks[pl.BlockOf(entry)].Store[g]
+}
+
+// CapacityUsed returns entries cached per GPU.
+func (pl *Placement) CapacityUsed() []int64 {
+	used := make([]int64, pl.NumGPUs)
+	for _, b := range pl.Blocks {
+		for g, s := range b.Store {
+			if s {
+				used[g] += b.Entries()
+			}
+		}
+	}
+	return used
+}
+
+// HitStats describes where one GPU's accesses land, as fractions of total
+// hotness mass (Fig. 14's local / remote / host split).
+type HitStats struct {
+	Local, Remote, Host float64
+}
+
+// Stats computes the per-GPU access split under the hotness the placement
+// was solved for.
+func (pl *Placement) Stats(h workload.Hotness) []HitStats {
+	out := make([]HitStats, pl.NumGPUs)
+	total := h.Total()
+	if total == 0 {
+		return out
+	}
+	host := platform.SourceID(pl.NumGPUs)
+	for _, b := range pl.Blocks {
+		mass := 0.0
+		for r := b.Start; r < b.End; r++ {
+			mass += h[pl.ByRank[r]]
+		}
+		for i := 0; i < pl.NumGPUs; i++ {
+			switch src := b.Access[i]; {
+			case src == host:
+				out[i].Host += mass
+			case int(src) == i:
+				out[i].Local += mass
+			default:
+				out[i].Remote += mass
+			}
+		}
+	}
+	inv := 1 / total
+	for i := range out {
+		out[i].Local *= inv
+		out[i].Remote *= inv
+		out[i].Host *= inv
+	}
+	return out
+}
+
+// Validate checks the §6.2 invariants: every access points at a source that
+// stores the block (or host) and is reachable; capacities are respected.
+func (pl *Placement) Validate(in *Input) error {
+	if len(pl.Blocks) == 0 {
+		return fmt.Errorf("solver: placement has no blocks")
+	}
+	host := in.P.Host()
+	var prevEnd int64
+	for bi := range pl.Blocks {
+		b := &pl.Blocks[bi]
+		if b.Start != prevEnd || b.End <= b.Start {
+			return fmt.Errorf("solver: block %d range [%d, %d) does not tile", bi, b.Start, b.End)
+		}
+		prevEnd = b.End
+		if len(b.Store) != pl.NumGPUs || len(b.Access) != pl.NumGPUs {
+			return fmt.Errorf("solver: block %d has wrong arity", bi)
+		}
+		for i := 0; i < pl.NumGPUs; i++ {
+			src := b.Access[i]
+			if src == host {
+				continue
+			}
+			j := int(src)
+			if j < 0 || j >= pl.NumGPUs {
+				return fmt.Errorf("solver: block %d gpu %d reads bad source %d", bi, i, src)
+			}
+			if !b.Store[j] {
+				return fmt.Errorf("solver: block %d gpu %d reads gpu %d which does not store it", bi, i, j)
+			}
+			if !in.P.Connected(i, j) {
+				return fmt.Errorf("solver: block %d gpu %d reads unconnected gpu %d", bi, i, j)
+			}
+		}
+	}
+	if prevEnd != int64(len(in.Hotness)) {
+		return fmt.Errorf("solver: blocks cover %d of %d entries", prevEnd, len(in.Hotness))
+	}
+	for g, used := range pl.CapacityUsed() {
+		if used > in.Capacity[g] {
+			return fmt.Errorf("solver: gpu %d uses %d of %d entries", g, used, in.Capacity[g])
+		}
+	}
+	return nil
+}
+
+// Policy is a cache-policy algorithm.
+type Policy interface {
+	Name() string
+	Solve(in *Input) (*Placement, error)
+}
+
+// newPlacement builds the shared skeleton from a solve context: ranks and
+// the rank→block map are filled; Store/Access come from the blocks as the
+// policy populated them.
+func newPlacement(c *ctx, policy string, blocks []Block) *Placement {
+	n := len(c.in.Hotness)
+	pl := &Placement{
+		Policy:     policy,
+		NumGPUs:    c.in.P.N,
+		EntryBytes: c.in.EntryBytes,
+		Rank:       make([]int32, n),
+		ByRank:     make([]int32, n),
+		Blocks:     blocks,
+	}
+	for r, e := range c.ranked {
+		pl.Rank[e] = int32(r)
+		pl.ByRank[r] = int32(e)
+	}
+	pl.blockOfRank = make([]int32, n)
+	for bi := range blocks {
+		for r := blocks[bi].Start; r < blocks[bi].End; r++ {
+			pl.blockOfRank[r] = int32(bi)
+		}
+	}
+	pl.EstTimes = EstimateTimes(c.in, pl)
+	return pl
+}

@@ -1,0 +1,295 @@
+// Package stats provides the small numeric-summary and report-rendering
+// helpers shared by the benchmark harness: streaming summaries, fixed-bucket
+// histograms, and fixed-width table/series rendering used to print the rows
+// and series of the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates streaming moments and extremes of a sequence.
+type Summary struct {
+	n        int
+	sum, sq  float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sq += v * v
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with none.
+func (s *Summary) Max() float64 { return s.max }
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi); values outside the
+// range are clamped into the first/last bucket.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given range and bucket count.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	b := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of observations in bucket b.
+func (h *Histogram) Fraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[b]) / float64(h.total)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from bucket
+// midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	acc := 0.0
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		acc += float64(c)
+		if acc >= target {
+			return h.Lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.Hi
+}
+
+// Quantiles computes exact quantiles of a sample (which it sorts in place).
+func Quantiles(sample []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(sample) == 0 {
+		return out
+	}
+	sort.Float64s(sample)
+	for i, q := range qs {
+		pos := q * float64(len(sample)-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(sample) {
+			out[i] = sample[len(sample)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = sample[lo]*(1-frac) + sample[hi]*frac
+	}
+	return out
+}
+
+// Table renders labelled rows of numbers with fixed-width columns; it is the
+// uniform output format of the benchmark harness.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row where the first cell is a label and the rest are
+// numbers formatted with the given verb (e.g. "%.2f").
+func (t *Table) AddRowf(label, verb string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) sequence, the unit of figure reproduction.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// RenderSeries renders multiple series sharing an x-axis as one table.
+// Series need not be aligned; missing points render as "-".
+func RenderSeries(title, xlabel string, series ...*Series) string {
+	// Collect the union of x values.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	headers := []string{xlabel}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(title, headers...)
+	for _, x := range xs {
+		cells := []string{trimFloat(x)}
+		for _, s := range series {
+			cell := "-"
+			for i, sx := range s.X {
+				if sx == x {
+					cell = fmt.Sprintf("%.4g", s.Y[i])
+					break
+				}
+			}
+			cells = append(cells, cell)
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+// GeoMean returns the geometric mean of positive values, ignoring
+// non-positive entries; it is used for the paper's "average speedup" rows.
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestSummaryMinMaxProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Constrain magnitude so the running sum cannot overflow.
+			s.Add(math.Mod(v, 1e6))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for b := 0; b < 10; b++ {
+		if h.Counts[b] != 1 {
+			t.Fatalf("bucket %d = %d", b, h.Counts[b])
+		}
+	}
+	h.Add(-5)  // clamps to first
+	h.Add(100) // clamps to last
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Fatal("clamping failed")
+	}
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if f := h.Fraction(0); math.Abs(f-2.0/12) > 1e-12 {
+		t.Fatalf("Fraction = %v", f)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	q := h.Quantile(0.5)
+	if q < 45 || q > 55 {
+		t.Fatalf("median %v", q)
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	qs := Quantiles([]float64{4, 1, 3, 2}, 0, 0.5, 1)
+	if qs[0] != 1 || qs[2] != 4 {
+		t.Fatalf("got %v", qs)
+	}
+	if math.Abs(qs[1]-2.5) > 1e-12 {
+		t.Fatalf("median %v", qs[1])
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatal("empty sample should yield zeros")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "v1", "v2")
+	tab.AddRowf("row-a", "%.1f", 1.0, 2.0)
+	tab.AddRow("row-b", "3", "4")
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "name", "row-a", "1.0", "row-b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := &Series{Name: "a"}
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b := &Series{Name: "b"}
+	b.Append(2, 200)
+	out := RenderSeries("fig", "x", a, b)
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "200") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	// x=1 has no b value: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder:\n%s", out)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if g := GeoMean([]float64{2, -1, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean skip nonpositive = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	a := &Series{Name: "rising"}
+	b := &Series{Name: "flat"}
+	for x := 0.0; x <= 10; x++ {
+		a.Append(x, x*x)
+		b.Append(x, 40)
+	}
+	out := RenderChart("demo", "ratio", "ms", a, b)
+	for _, want := range []string{"== demo ==", "rising", "flat", "*", "o", "x: ratio, y: ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Rising series must hit the top row; flat one must not.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("top of chart missing rising series:\n%s", out)
+	}
+}
+
+func TestRenderChartDegenerate(t *testing.T) {
+	if out := RenderChart("empty", "x", "y"); !strings.Contains(out, "no plottable data") {
+		t.Fatalf("degenerate chart: %s", out)
+	}
+	one := &Series{Name: "p"}
+	one.Append(1, 5)
+	if out := RenderChart("point", "x", "y", one); !strings.Contains(out, "no plottable data") {
+		t.Fatalf("single x should be degenerate: %s", out)
+	}
+}

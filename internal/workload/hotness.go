@@ -1,0 +1,132 @@
+package workload
+
+import "fmt"
+
+// Hotness is the paper's §6.1 metric: the expected number of accesses per
+// iteration for each embedding entry, indexed by key. The solver consumes
+// it directly; applications may fill it by presampling (GNN: profile the
+// first epoch), by degree proxy, or by online sampling (DLR).
+type Hotness []float64
+
+// ProfileBatches measures hotness by counting per-batch key *presence* over
+// recorded batches and normalizing per batch — the presampling of GNNLab
+// that §6.1 cites as sufficient to predict later epochs. Presence (each key
+// counted once per batch) rather than raw occurrence matters because the
+// extractor deduplicates each batch before reading: an entry appearing 50
+// times in one batch still costs one read, so its cache value saturates.
+func ProfileBatches(numEntries int64, batches [][]int64) (Hotness, error) {
+	if numEntries <= 0 {
+		return nil, fmt.Errorf("workload: numEntries must be positive")
+	}
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("workload: need at least one batch to profile")
+	}
+	h := make(Hotness, numEntries)
+	seen := make(map[int64]struct{})
+	for _, b := range batches {
+		clear(seen)
+		for _, k := range b {
+			if k < 0 || k >= numEntries {
+				return nil, fmt.Errorf("workload: key %d outside [0, %d)", k, numEntries)
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			h[k]++
+		}
+	}
+	// Good–Turing smoothing for the unseen tail: a finite profiling window
+	// underestimates how often future batches touch keys it never saw, which
+	// would make the solver treat the tail as worthless and overfit the
+	// placement to the profiled head. The classic estimate of the unseen
+	// probability mass is the frequency of once-seen events; it is spread
+	// uniformly over the never-seen entries.
+	var once, unseen int64
+	for _, c := range h {
+		switch c {
+		case 0:
+			unseen++
+		case 1:
+			once++
+		}
+	}
+	inv := 1 / float64(len(batches))
+	tail := 0.0
+	if unseen > 0 {
+		tail = float64(once) * inv / float64(unseen)
+	}
+	for i := range h {
+		if h[i] == 0 {
+			h[i] = tail
+		} else {
+			h[i] *= inv
+		}
+	}
+	return h, nil
+}
+
+// DegreeHotness approximates hotness from vertex degrees (paper §6.1: "the
+// vertex degree in graph datasets can approximate the access frequency").
+// degrees may be out- or in-degree counts; the result is scaled so it sums
+// to expectedKeysPerBatch.
+func DegreeHotness(degrees []int64, expectedKeysPerBatch float64) Hotness {
+	h := make(Hotness, len(degrees))
+	var total int64
+	for _, d := range degrees {
+		total += d
+	}
+	if total == 0 || expectedKeysPerBatch <= 0 {
+		return h
+	}
+	scale := expectedKeysPerBatch / float64(total)
+	for i, d := range degrees {
+		h[i] = float64(d) * scale
+	}
+	return h
+}
+
+// Total returns the expected keys per iteration.
+func (h Hotness) Total() float64 {
+	s := 0.0
+	for _, v := range h {
+		s += v
+	}
+	return s
+}
+
+// TopShare returns the fraction of accesses covered by the hottest
+// `fraction` of entries — the skewness summary used throughout the
+// evaluation discussion.
+func (h Hotness) TopShare(fraction float64) float64 {
+	ranked := h.Rank()
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	k := int(float64(len(h)) * fraction)
+	var top float64
+	for i := 0; i < k && i < len(ranked); i++ {
+		top += h[ranked[i]]
+	}
+	return top / total
+}
+
+// Rank returns entry indices sorted by descending hotness (stable in index
+// for ties, so results are deterministic).
+func (h Hotness) Rank() []int64 {
+	idx := make([]int64, len(h))
+	for i := range idx {
+		idx[i] = int64(i)
+	}
+	// Sort by (-hotness, index) with a simple 64-bit radix-friendly
+	// comparator via sort.Slice equivalent; len is a few million, sort
+	// package handles it fine.
+	sortSlice(idx, func(a, b int64) bool {
+		if h[a] != h[b] {
+			return h[a] > h[b]
+		}
+		return a < b
+	})
+	return idx
+}

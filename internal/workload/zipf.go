@@ -1,0 +1,80 @@
+// Package workload generates the embedding access streams of the paper's
+// two application families: DLR inference requests over many embedding
+// tables with power-law key popularity, and GNN training batches produced
+// by graph sampling. It also implements the hotness profiling ("presampling
+// the first epoch", §6.1) that feeds the cache policy solver, and trace
+// record/replay.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"ugache/internal/rng"
+)
+
+// Zipf draws ranks in [0, N) with P(r) ∝ 1/(r+1)^alpha using analytic
+// inversion of the continuous CDF — O(1) per draw and no per-rank tables,
+// so billion-entry key spaces cost nothing. Rank 0 is the hottest key.
+type Zipf struct {
+	N     int64
+	Alpha float64
+	norm  float64
+	exp   float64
+	isLog bool
+}
+
+// NewZipf creates a bounded Zipf sampler. alpha must be > 0 (the paper's
+// synthetic datasets use 1.2 and 1.4).
+func NewZipf(n int64, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs n > 0, got %d", n)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs alpha > 0, got %g", alpha)
+	}
+	z := &Zipf{N: n, Alpha: alpha}
+	if math.Abs(1-alpha) < 1e-9 {
+		z.isLog = true
+		z.norm = math.Log(float64(n + 1))
+		return z, nil
+	}
+	z.norm = math.Pow(float64(n+1), 1-alpha) - 1
+	z.exp = 1 / (1 - alpha)
+	return z, nil
+}
+
+// Sample draws one rank.
+func (z *Zipf) Sample(r *rng.Rand) int64 {
+	u := r.Float64()
+	var x float64
+	if z.isLog {
+		x = math.Exp(u*z.norm) - 1
+	} else {
+		x = math.Pow(u*z.norm+1, z.exp) - 1
+	}
+	id := int64(x)
+	if id < 0 {
+		id = 0
+	}
+	if id >= z.N {
+		id = z.N - 1
+	}
+	return id
+}
+
+// CDF returns the (continuous approximation of the) probability that a
+// sample is < r; used to size caches analytically in tests.
+func (z *Zipf) CDF(rank int64) float64 {
+	if rank <= 0 {
+		return 0
+	}
+	if rank >= z.N {
+		return 1
+	}
+	x := float64(rank)
+	if z.isLog {
+		return math.Log(x+1) / z.norm
+	}
+	return (math.Pow(x+1, 1-z.Alpha) - 1) / z.norm
+}

@@ -1,0 +1,207 @@
+// Package ugache is a Go reproduction of UGache (SOSP '23): a unified
+// multi-GPU embedding cache for embedding-based deep learning, built on a
+// deterministic simulation of multi-GPU platforms (V100/A100 servers with
+// NVLink, NVSwitch and PCIe).
+//
+// The package exposes UGache as an embedding layer, mirroring the paper's
+// integration surface (§7.1): construct a System from a platform, per-entry
+// hotness statistics and a cache budget; the system solves the cache policy
+// (§6), fills the simulated GPU caches, and serves batched extractions
+// through the factored extraction mechanism (§5). Lookup returns real
+// embedding bytes when a host store is attached; ExtractBatch returns the
+// simulated extraction timing used throughout the paper's evaluation.
+//
+// Quick start:
+//
+//	p := ugache.ServerC()                             // 8×A100 + NVSwitch
+//	table, _ := ugache.NewTable("emb", 1_000_000, 128, ugache.Float32, 42)
+//	hot, _ := ugache.ProfileBatches(table.NumEntries, batches)
+//	sys, _ := ugache.New(ugache.Config{
+//		Platform:   p,
+//		Hotness:    hot,
+//		EntryBytes: table.EntryBytes(),
+//		CacheRatio: 0.10,
+//		Source:     table,
+//	})
+//	out := make([]byte, len(keys)*table.EntryBytes())
+//	_ = sys.Lookup(0, keys, out)                      // real bytes
+//	res, _ := sys.ExtractBatch(batch)                 // simulated timing
+//
+// The internal packages contain the full system: the fluid-flow bandwidth
+// simulator (internal/sim), platform models (internal/platform), the policy
+// solver with its LP/MILP machinery (internal/solver, internal/lp,
+// internal/milp), extraction mechanisms (internal/extract), cache state and
+// refresh (internal/cache), workload generators (internal/workload,
+// internal/graph), the paper's baseline systems (internal/baselines), the
+// GNN/DLR applications (internal/app) and the benchmark harness that
+// regenerates every table and figure (internal/bench).
+package ugache
+
+import (
+	"io"
+
+	"ugache/internal/cache"
+	"ugache/internal/core"
+	"ugache/internal/emb"
+	"ugache/internal/extract"
+	"ugache/internal/platform"
+	"ugache/internal/rng"
+	"ugache/internal/solver"
+	"ugache/internal/workload"
+)
+
+// Platform is a simulated multi-GPU server.
+type Platform = platform.Platform
+
+// SourceID identifies a source location (GPU index, or Platform.Host()).
+type SourceID = platform.SourceID
+
+// PlatformConfig describes a custom platform for NewPlatform.
+type PlatformConfig = platform.Config
+
+// GPUModel holds per-device constants.
+type GPUModel = platform.GPUModel
+
+// Stock GPU models.
+var (
+	V100x16 = platform.V100x16
+	V100x32 = platform.V100x32
+	A100x80 = platform.A100x80
+)
+
+// ServerA returns the paper's 4×V100 hard-wired testbed.
+func ServerA() *Platform { return platform.ServerA() }
+
+// ServerB returns the paper's 8×V100 DGX-1 testbed (unconnected pairs).
+func ServerB() *Platform { return platform.ServerB() }
+
+// ServerC returns the paper's 8×A100 NVSwitch testbed.
+func ServerC() *Platform { return platform.ServerC() }
+
+// NewPlatform builds a custom platform.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) { return platform.New(cfg) }
+
+// Hotness is the per-entry expected accesses per iteration (§6.1).
+type Hotness = workload.Hotness
+
+// ProfileBatches measures hotness from recorded key batches (presence
+// counting with Good–Turing tail smoothing).
+func ProfileBatches(numEntries int64, batches [][]int64) (Hotness, error) {
+	return workload.ProfileBatches(numEntries, batches)
+}
+
+// DType is an embedding element type.
+type DType = emb.DType
+
+// Element types.
+const (
+	Float32 = emb.Float32
+	Float16 = emb.Float16
+)
+
+// Table is a host-resident embedding table.
+type Table = emb.Table
+
+// NewTable creates a procedural (generate-on-read) table.
+func NewTable(name string, n int64, dim int, dtype DType, seed uint64) (*Table, error) {
+	return emb.New(name, n, dim, dtype, seed)
+}
+
+// NewMaterializedTable creates a table with real backing bytes.
+func NewMaterializedTable(name string, n int64, dim int, dtype DType, seed uint64) (*Table, error) {
+	return emb.NewMaterialized(name, n, dim, dtype, seed)
+}
+
+// MultiTable flattens several tables into one key space (DLR-style).
+type MultiTable = emb.MultiTable
+
+// NewMultiTable builds the flattened view.
+func NewMultiTable(tables []*Table) (*MultiTable, error) { return emb.NewMultiTable(tables) }
+
+// Policy is a cache-policy algorithm (§6).
+type Policy = solver.Policy
+
+// Stock policies.
+var (
+	// PolicyUGache is the paper's solver (default).
+	PolicyUGache Policy = solver.UGache{}
+	// PolicyReplication is the HPS/GNNLab-style per-GPU cache.
+	PolicyReplication Policy = solver.Replication{}
+	// PolicyPartition is the WholeGraph/SOK-style partition cache.
+	PolicyPartition Policy = solver.Partition{}
+	// PolicyCliquePartition is Quiver's clique partition.
+	PolicyCliquePartition Policy = solver.CliquePartition{}
+	// PolicyOptimal is the exact LP reference (Fig. 16).
+	PolicyOptimal Policy = solver.OptimalLP{}
+)
+
+// PolicyByName resolves a policy by its registry name.
+func PolicyByName(name string) (Policy, error) { return solver.PolicyByName(name) }
+
+// Placement is a solved cache policy. Placements serialize with
+// Placement.Save and LoadPlacement, so a deployment can solve once and
+// reuse the result across restarts.
+type Placement = solver.Placement
+
+// LoadPlacement reads a placement written by Placement.Save.
+func LoadPlacement(r io.Reader) (*Placement, error) { return solver.LoadPlacement(r) }
+
+// Mechanism selects the extraction scheme (§5).
+type Mechanism = extract.Mechanism
+
+// Extraction mechanisms.
+const (
+	Factored     = extract.Factored
+	PeerRandom   = extract.PeerRandom
+	MessageBased = extract.MessageBased
+)
+
+// Batch is one iteration's unique keys per destination GPU.
+type Batch = extract.Batch
+
+// ExtractResult is one simulated extraction's timing.
+type ExtractResult = extract.Result
+
+// Config describes a UGache instance; see core.Config for field docs.
+type Config = core.Config
+
+// System is a built UGache instance: the embedding layer of §4.
+type System = core.System
+
+// New solves the cache policy and fills the caches.
+func New(cfg Config) (*System, error) { return core.Build(cfg) }
+
+// RefreshConfig tunes the §7.2 background refresh.
+type RefreshConfig = cache.RefreshConfig
+
+// RefreshReport summarizes one refresh (Fig. 17).
+type RefreshReport = cache.RefreshReport
+
+// DefaultRefreshConfig mirrors the paper's refresh behaviour.
+func DefaultRefreshConfig() RefreshConfig { return cache.DefaultRefreshConfig() }
+
+// HotnessSampler records foreground batches for refresh decisions (§7.2).
+type HotnessSampler = cache.HotnessSampler
+
+// NewHotnessSampler records every `every`-th observed batch.
+func NewHotnessSampler(numEntries int64, every int) *HotnessSampler {
+	return cache.NewHotnessSampler(numEntries, every)
+}
+
+// Rand is the repository's deterministic random generator.
+type Rand = rng.Rand
+
+// NewRand creates a deterministic generator from a seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Zipf draws skewed keys; the synthetic workloads of §8.1.
+type Zipf = workload.Zipf
+
+// NewZipf creates a bounded Zipf sampler.
+func NewZipf(n int64, alpha float64) (*Zipf, error) { return workload.NewZipf(n, alpha) }
+
+// UniqueKeys deduplicates a key batch in first-seen order (the extractor
+// operates on unique keys).
+func UniqueKeys(keys []int64, scratch map[int64]struct{}) []int64 {
+	return workload.Unique(keys, scratch)
+}
