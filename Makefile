@@ -1,0 +1,28 @@
+GO ?= go
+
+RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app
+
+.PHONY: check build test vet fmt race bench
+
+check: fmt vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Race coverage of the concurrent paths: lookups/extractions racing
+# refreshes, the serving engine, and the parallel bench runner.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) run ./cmd/ugache-bench -exp all

@@ -24,12 +24,13 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
-		scale = flag.Float64("scale", 0.25, "dataset scale multiplier (1.0 = full stand-in scale)")
-		iters = flag.Int("iters", 3, "measured iterations per configuration")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		quick = flag.Bool("quick", false, "trim the configuration matrix")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exps    = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		scale   = flag.Float64("scale", 0.25, "dataset scale multiplier (1.0 = full stand-in scale)")
+		iters   = flag.Int("iters", 3, "measured iterations per configuration")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		quick   = flag.Bool("quick", false, "trim the configuration matrix")
+		workers = flag.Int("workers", 0, "pre-warm worker pool size (0 = one per CPU, 1 = sequential)")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 	if *exps != "all" {
 		names = strings.Split(*exps, ",")
 	}
-	opt := bench.Options{Scale: *scale, Iters: *iters, Seed: *seed, Quick: *quick}
+	opt := bench.Options{Scale: *scale, Iters: *iters, Seed: *seed, Quick: *quick, Workers: *workers}
 	failed := 0
 	for _, name := range names {
 		name = strings.TrimSpace(name)

@@ -1,0 +1,188 @@
+// ugache-serve runs a closed-loop multi-client DLR inference workload
+// against the concurrent serving engine: N client goroutines issue lookup
+// requests for Zipf-drawn embedding keys, the per-GPU coalescer batches
+// them into iteration-sized extractions, and the run reports throughput,
+// request latency percentiles, and the simulated extraction times of the
+// coalesced batches.
+//
+// Usage:
+//
+//	ugache-serve -dataset SYN-A -clients 16 -requests 200
+//	ugache-serve -dataset CR -scale 0.1 -ratio 0.08 -max-wait 1ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ugache/internal/core"
+	"ugache/internal/platform"
+	"ugache/internal/rng"
+	"ugache/internal/serve"
+	"ugache/internal/workload"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "SYN-A", "DLR dataset: CR, SYN-A or SYN-B")
+		server   = flag.String("server", "C", "platform: A (4xV100), B (8xV100 DGX-1) or C (8xA100)")
+		scale    = flag.Float64("scale", 0.05, "dataset scale multiplier")
+		ratio    = flag.Float64("ratio", 0.10, "per-GPU cache ratio")
+		clients  = flag.Int("clients", 8, "concurrent closed-loop clients")
+		requests = flag.Int("requests", 100, "requests per client")
+		batch    = flag.Int("batch", 16, "inference samples per request")
+		maxBatch = flag.Int("max-batch", 8192, "coalescer flush threshold in pending keys")
+		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush deadline")
+		seed     = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	if err := run(*dataset, *server, *scale, *ratio, *clients, *requests, *batch, *maxBatch, *maxWait, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func specByName(name string) (workload.DLRSpec, error) {
+	for _, s := range workload.DLRDatasets {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return workload.DLRSpec{}, fmt.Errorf("unknown dataset %q (have CR, SYN-A, SYN-B)", name)
+}
+
+func platformByName(name string) (*platform.Platform, error) {
+	switch name {
+	case "A", "a":
+		return platform.ServerA(), nil
+	case "B", "b":
+		return platform.ServerB(), nil
+	case "C", "c":
+		return platform.ServerC(), nil
+	}
+	return nil, fmt.Errorf("unknown server %q (have A, B, C)", name)
+}
+
+func run(dataset, server string, scale, ratio float64, clients, requests, batch, maxBatch int,
+	maxWait time.Duration, seed uint64) error {
+	spec, err := specByName(dataset)
+	if err != nil {
+		return err
+	}
+	p, err := platformByName(server)
+	if err != nil {
+		return err
+	}
+	ds, err := spec.Build(scale, seed)
+	if err != nil {
+		return err
+	}
+	n := ds.NumEntries()
+	fmt.Printf("dataset %s at scale %g: %d tables, %d entries, %d B rows\n",
+		spec.Name, scale, ds.KeysPerSample(), n, ds.MT.MaxEntryBytes())
+
+	// Warm hotness from the dataset's own stream, then build the system in
+	// functional mode so lookups return (and verify against) real bytes.
+	var rec [][]int64
+	for i := 0; i < 64; i++ {
+		rec = append(rec, ds.GenBatch(batch*clients))
+	}
+	hot, err := workload.ProfileBatches(n, rec)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	sys, err := core.Build(core.Config{
+		Platform:   p,
+		Hotness:    hot,
+		EntryBytes: ds.MT.MaxEntryBytes(),
+		CacheRatio: ratio,
+		Source:     ds.MT,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %s: cache ratio %g solved and filled in %.2fs\n",
+		p.Name, ratio, time.Since(t0).Seconds())
+
+	srv, err := serve.New(sys, serve.Config{MaxBatchKeys: maxBatch, MaxWait: maxWait})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// Closed loop: each client issues its next request as soon as the
+	// previous one completes, round-robining destination GPUs.
+	latencies := make([][]time.Duration, clients)
+	var simSum float64
+	var simMu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.New(seed).Split(fmt.Sprintf("client%d", c))
+			lats := make([]time.Duration, 0, requests)
+			var localSim float64
+			for i := 0; i < requests; i++ {
+				keys := ds.GenBatchWith(r, batch)
+				reqStart := time.Now()
+				res, err := srv.Lookup((c+i)%p.N, keys)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				lats = append(lats, time.Since(reqStart))
+				localSim += res.SimSeconds
+			}
+			latencies[c] = lats
+			simMu.Lock()
+			simSum += localSim
+			simMu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	st := srv.Stats()
+	total := len(all)
+	fmt.Printf("\n%d clients x %d requests (%d samples each) in %.2fs\n",
+		clients, requests, batch, wall.Seconds())
+	fmt.Printf("throughput:        %.0f req/s, %.0f keys/s\n",
+		float64(total)/wall.Seconds(), float64(st.RequestedKeys)/wall.Seconds())
+	fmt.Printf("latency:           p50 %v  p99 %v  max %v\n", pct(0.50), pct(0.99), pct(1.0))
+	fmt.Printf("coalescing:        %d batches, %.1f unique keys/batch (%.1f requested)\n",
+		st.Batches, st.MeanBatchKeys(), float64(st.RequestedKeys)/float64(maxI64(st.Batches, 1)))
+	fmt.Printf("simulated extract: %.3f ms/batch mean, %.1f ms total per request stream\n",
+		st.SimSeconds/float64(maxI64(st.Batches, 1))*1e3, simSum/float64(maxI64(int64(clients), 1))*1e3)
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

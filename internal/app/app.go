@@ -6,9 +6,21 @@ package app
 
 import (
 	"fmt"
+	"math"
 
 	"ugache/internal/platform"
 )
+
+// ratioEntries converts a cache ratio into a per-GPU entry count, rounding
+// up so tiny ratios yield a usable (>= 1 entry) cache instead of silently
+// truncating to zero.
+func ratioEntries(ratio float64, n int64) int64 {
+	c := int64(math.Ceil(ratio * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
 
 // MemoryModel derives per-GPU cache capacity from (scaled) GPU memory the
 // way the evaluation does: datasets are built at 1/100 of the paper's

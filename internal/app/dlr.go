@@ -67,7 +67,7 @@ func NewDLR(cfg DLRConfig) (*DLRApp, error) {
 	entryBytes := cfg.DS.MT.MaxEntryBytes()
 	var capacity int64
 	if cfg.CacheRatio > 0 {
-		capacity = int64(cfg.CacheRatio * float64(n))
+		capacity = ratioEntries(cfg.CacheRatio, n)
 	} else {
 		capacity = cfg.Mem.CapacityEntries(cfg.P, entryBytes, 0)
 	}
@@ -147,7 +147,7 @@ func (a *DLRApp) RunIters(iters int) (*Report, error) {
 		utilN += res.Utilization(a.cfg.P, a.cfg.P.NVLinkIDs())
 		for g, keys := range b.Keys {
 			for _, k := range keys {
-				src := a.Sys.Placement.SourceOf(g, k)
+				src := a.Sys.Placement().SourceOf(g, k)
 				switch {
 				case src == a.cfg.P.Host():
 					hitH++
@@ -164,7 +164,7 @@ func (a *DLRApp) RunIters(iters int) (*Report, error) {
 		Extract: sum.Extract * inv, Eviction: sum.Eviction * inv, Dense: sum.Dense * inv,
 	}
 	n := a.cfg.DS.NumEntries()
-	capUsed := a.Sys.Placement.CapacityUsed()
+	capUsed := a.Sys.Placement().CapacityUsed()
 	tot := hitL + hitR + hitH
 	if tot == 0 {
 		tot = 1
@@ -239,7 +239,7 @@ func (a *DLRApp) dispatchBatch(b *extract.Batch) {
 			}
 			aff := 0
 			for _, k := range sample {
-				if int(a.Sys.Placement.SourceOf(cand, k)) == cand {
+				if int(a.Sys.Placement().SourceOf(cand, k)) == cand {
 					aff++
 				}
 			}

@@ -116,7 +116,7 @@ func NewGNN(cfg GNNConfig) (*GNNApp, error) {
 	entryBytes := cfg.DS.Table.EntryBytes()
 	var capacity int64
 	if cfg.CacheRatio > 0 {
-		capacity = int64(cfg.CacheRatio * float64(n))
+		capacity = ratioEntries(cfg.CacheRatio, n)
 	} else {
 		resident := cfg.DS.VolumeG()
 		if cfg.Spec.ReclaimGraphMemory {
@@ -289,7 +289,7 @@ func (a *GNNApp) RunIters(maxIters int) (*Report, error) {
 		Eviction: sum.Eviction * inv, Dense: sum.Dense * inv,
 	}
 	n := int64(a.Cfg.DS.G.NumNodes())
-	capUsed := a.Sys.Placement.CapacityUsed()
+	capUsed := a.Sys.Placement().CapacityUsed()
 	tot := hitL + hitR + hitH
 	if tot == 0 {
 		tot = 1
@@ -382,7 +382,7 @@ func (a *GNNApp) measureHits(b *extract.Batch) (local, remote, host float64) {
 			continue
 		}
 		for _, k := range keys {
-			src := a.Sys.Placement.SourceOf(g, k)
+			src := a.Sys.Placement().SourceOf(g, k)
 			switch {
 			case src == a.Cfg.P.Host():
 				host++

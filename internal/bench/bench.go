@@ -32,6 +32,11 @@ type Options struct {
 	Seed uint64
 	// Quick trims the configuration matrix for fast runs.
 	Quick bool
+	// Workers bounds the pre-warm pool that computes a figure's independent
+	// configurations concurrently: 0 uses one worker per CPU, 1 disables
+	// the pre-warm entirely (fully sequential execution). Output is
+	// byte-identical regardless of the setting.
+	Workers int
 }
 
 func (o Options) normalize() Options {

@@ -28,6 +28,18 @@ func fig12Ratios(o Options) []float64 {
 // RepU/PartU baselines.
 func figure12(o Options) (*Result, error) {
 	p := platform.ServerC()
+	var jobs []job
+	for _, ds := range []graph.DatasetSpec{graph.PA, graph.CF} {
+		for _, ratio := range fig12Ratios(o) {
+			for _, spec := range []baselines.Spec{
+				baselines.RepU, baselines.PartU,
+				baselines.UGache.WithMechanism(extract.PeerRandom), baselines.UGache,
+			} {
+				jobs = append(jobs, gnnJob(o, p, spec, ds, "sage", true, ratio))
+			}
+		}
+	}
+	prewarm(o, jobs)
 	var parts []string
 	for _, ds := range []graph.DatasetSpec{graph.PA, graph.CF} {
 		repU := &stats.Series{Name: "RepU"}
@@ -77,6 +89,15 @@ func figure14(o Options) (*Result, error) {
 	if o.Quick {
 		ratios = []float64{0.02, 0.08, 0.12}
 	}
+	var jobs []job
+	for _, ds := range []graph.DatasetSpec{graph.PA, graph.CF} {
+		for _, ratio := range ratios {
+			for _, spec := range []baselines.Spec{baselines.PartU, baselines.UGache, baselines.RepU} {
+				jobs = append(jobs, gnnJob(o, p, spec, ds, "sage", true, ratio))
+			}
+		}
+	}
+	prewarm(o, jobs)
 	var parts []string
 	for _, ds := range []graph.DatasetSpec{graph.PA, graph.CF} {
 		t := stats.NewTable(
@@ -110,6 +131,17 @@ func figure15(o Options) (*Result, error) {
 	if o.Quick {
 		ratios = []float64{0.02, 0.08, 0.12}
 	}
+	var jobs []job
+	for _, ds := range []graph.DatasetSpec{graph.PA, graph.CF} {
+		for _, ratio := range ratios {
+			for _, base := range []baselines.Spec{baselines.PartU, baselines.UGache, baselines.RepU} {
+				spec := base
+				spec.Mechanism = extract.Factored
+				jobs = append(jobs, gnnJob(o, p, spec, ds, "sage", true, ratio))
+			}
+		}
+	}
+	prewarm(o, jobs)
 	var parts []string
 	for _, ds := range []graph.DatasetSpec{graph.PA, graph.CF} {
 		t := stats.NewTable(

@@ -28,6 +28,40 @@ func init() {
 // itself had to shrink the instances ("SYN-As/Bs"), mirrored here by a
 // reduced scale and the small general-form LP.
 func figure16(o Options) (*Result, error) {
+	optSpec := baselines.UGache.WithPolicy(solver.OptimalLP{})
+	optSpec.Name = "Optimal"
+	{
+		a := platform.ServerA()
+		dlrSets := []workload.DLRSpec{workload.CR, workload.SYNA, workload.SYNB}
+		if o.Quick {
+			dlrSets = dlrSets[1:2]
+		}
+		var jobs []job
+		for _, ds := range dlrSets {
+			for _, spec := range []baselines.Spec{baselines.UGache, optSpec} {
+				jobs = append(jobs, dlrJob(o, a, spec, ds, "dlrm", 0))
+			}
+		}
+		if !o.Quick {
+			b := platform.ServerB()
+			oSmall := o
+			oSmall.Scale = o.Scale * 0.125
+			for _, ds := range []workload.DLRSpec{workload.SYNA, workload.SYNB} {
+				for _, spec := range []baselines.Spec{baselines.UGache, optSpec} {
+					jobs = append(jobs, dlrJob(oSmall, b, spec, ds, "dlrm", 0.06))
+				}
+			}
+		}
+		c := platform.ServerC()
+		for _, w := range gnnWorkloads(o) {
+			for _, ds := range gnnDatasetsFor(o) {
+				for _, spec := range []baselines.Spec{baselines.UGache, optSpec} {
+					jobs = append(jobs, gnnJob(o, c, spec, ds, w.Model, w.Sup, 0))
+				}
+			}
+		}
+		prewarm(o, jobs)
+	}
 	t := stats.NewTable("Figure 16: extraction time (ms), UGache vs optimal policy",
 		"server", "workload", "UGache", "Optimal", "gap")
 	addRow := func(p *platform.Platform, label string, run func(spec baselines.Spec) (float64, error)) error {
@@ -35,8 +69,6 @@ func figure16(o Options) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		optSpec := baselines.UGache.WithPolicy(solver.OptimalLP{})
-		optSpec.Name = "Optimal"
 		opt, err := run(optSpec)
 		if err != nil {
 			return err
@@ -219,6 +251,24 @@ func figure17(o Options) (*Result, error) {
 // speedups of UGache over the replication and partition systems across the
 // fig10 matrix.
 func summary(o Options) (*Result, error) {
+	var jobs []job
+	for _, p := range serverSet(o) {
+		for _, w := range gnnWorkloads(o) {
+			for _, ds := range gnnDatasetsFor(o) {
+				for _, spec := range []baselines.Spec{baselines.UGache, baselines.GNNLab, baselines.PartU} {
+					jobs = append(jobs, gnnJob(o, p, spec, ds, w.Model, w.Sup, 0))
+				}
+			}
+		}
+		for _, model := range dlrModelsFor(o) {
+			for _, ds := range dlrDatasetsFor(o) {
+				for _, spec := range []baselines.Spec{baselines.UGache, baselines.HPS, baselines.SOK} {
+					jobs = append(jobs, dlrJob(o, p, spec, ds, model, 0))
+				}
+			}
+		}
+	}
+	prewarm(o, jobs)
 	var repGNN, partGNN, repDLR, partDLR []float64
 	maxOf := func(xs []float64) float64 {
 		m := 0.0

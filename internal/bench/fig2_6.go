@@ -23,6 +23,13 @@ func figure2(o Options) (*Result, error) {
 	if o.Quick {
 		ratios = []float64{0.02, 0.08, 0.15, 0.25}
 	}
+	var jobs []job
+	for _, ratio := range ratios {
+		for _, spec := range []baselines.Spec{baselines.RepU, baselines.PartU, baselines.UGache} {
+			jobs = append(jobs, gnnJob(o, p, spec, graph.PA, "sage", true, ratio))
+		}
+	}
+	prewarm(o, jobs)
 	repHit := &stats.Series{Name: "Rep"}
 	partLocal := &stats.Series{Name: "Part.Local"}
 	partGlobal := &stats.Series{Name: "Part.Global"}

@@ -1,0 +1,78 @@
+package bench
+
+import "testing"
+
+// TestParallelRunnerMatchesSequential verifies the pre-warm pool's core
+// contract: a figure rendered with concurrent workers is byte-identical to
+// the same figure rendered fully sequentially (Workers: 1 disables the
+// pool entirely). fig4 exercises the DLR path whose runs share a dataset
+// RNG stream (the ordering-sensitive case); fig2 exercises the
+// embarrassingly parallel GNN sweep.
+func TestParallelRunnerMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs figures twice; skipped with -short")
+	}
+	for _, name := range []string{"fig2", "fig4"} {
+		seqOpt := quickOpt()
+		seqOpt.Workers = 1
+		ResetCaches()
+		seq, err := Run(name, seqOpt)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+
+		parOpt := quickOpt()
+		parOpt.Workers = 4
+		ResetCaches()
+		par, err := Run(name, parOpt)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+
+		if seq.Text != par.Text {
+			t.Fatalf("%s: parallel output differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				name, seq.Text, par.Text)
+		}
+	}
+	ResetCaches()
+}
+
+func TestPrewarmDedupesAndGroups(t *testing.T) {
+	o := Options{Workers: 4}
+	var order []string
+	ch := make(chan string, 16)
+	mk := func(group, key string) job {
+		return job{group: group, key: key, run: func() error {
+			ch <- key
+			return nil
+		}}
+	}
+	jobs := []job{
+		mk("g1", "a"), mk("g1", "b"),
+		mk("g2", "c"),
+		mk("g1", "a"), // duplicate key: must run once
+	}
+	prewarm(o, jobs)
+	close(ch)
+	counts := map[string]int{}
+	for k := range ch {
+		order = append(order, k)
+		counts[k]++
+	}
+	if counts["a"] != 1 || counts["b"] != 1 || counts["c"] != 1 {
+		t.Fatalf("runs %v", counts)
+	}
+	// Within g1, a must precede b.
+	ia, ib := -1, -1
+	for i, k := range order {
+		if k == "a" {
+			ia = i
+		}
+		if k == "b" {
+			ib = i
+		}
+	}
+	if ia > ib {
+		t.Fatalf("group order violated: %v", order)
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ugache/internal/app"
@@ -12,33 +13,50 @@ import (
 )
 
 // Reports are deterministic in their full configuration, and fig10, fig11
-// and the summary share the same configuration matrix — cache them.
+// and the summary share the same configuration matrix — cache them. Errors
+// are cached too: a failed run must not execute twice, or the second
+// attempt would consume its dataset's RNG stream differently from a
+// sequential run.
+type reportEntry struct {
+	rep *app.Report
+	err error
+}
+
 var (
 	reportMu    sync.Mutex
-	reportCache = map[string]*app.Report{}
+	reportCache = map[string]reportEntry{}
 )
 
 func resetReportCache() {
 	reportMu.Lock()
-	reportCache = map[string]*app.Report{}
+	reportCache = map[string]reportEntry{}
 	reportMu.Unlock()
 }
 
 func cachedReport(key string, run func() (*app.Report, error)) (*app.Report, error) {
 	reportMu.Lock()
-	if r, ok := reportCache[key]; ok {
+	if e, ok := reportCache[key]; ok {
 		reportMu.Unlock()
-		return r, nil
+		return e.rep, e.err
 	}
 	reportMu.Unlock()
 	r, err := run()
-	if err != nil {
-		return nil, err
-	}
 	reportMu.Lock()
-	reportCache[key] = r
+	reportCache[key] = reportEntry{rep: r, err: err}
 	reportMu.Unlock()
-	return r, nil
+	return r, err
+}
+
+func gnnKey(o Options, p *platform.Platform, spec baselines.Spec, dsSpec graph.DatasetSpec,
+	model string, supervised bool, ratio float64) string {
+	return fmt.Sprintf("gnn/%s/%s/%s/%s/%s/%v/%g/%g/%d/%d",
+		p.Name, spec.Name, spec.Mechanism, dsSpec.Name, model, supervised, ratio, o.Scale, o.Iters, o.Seed)
+}
+
+func dlrKey(o Options, p *platform.Platform, spec baselines.Spec, dsSpec workload.DLRSpec,
+	model string, ratio float64) string {
+	return fmt.Sprintf("dlr/%s/%s/%s/%s/%s/%g/%g/%d/%d",
+		p.Name, spec.Name, spec.Mechanism, dsSpec.Name, model, ratio, o.Scale, o.Iters, o.Seed)
 }
 
 // runGNN builds and measures one GNN configuration. ratio == 0 derives the
@@ -46,9 +64,7 @@ func cachedReport(key string, run func() (*app.Report, error)) (*app.Report, err
 // do; ratio > 0 pins it, as the sweep figures do.
 func runGNN(o Options, p *platform.Platform, spec baselines.Spec, dsSpec graph.DatasetSpec,
 	model string, supervised bool, ratio float64) (*app.Report, error) {
-	key := fmt.Sprintf("gnn/%s/%s/%s/%s/%s/%v/%g/%g/%d/%d",
-		p.Name, spec.Name, spec.Mechanism, dsSpec.Name, model, supervised, ratio, o.Scale, o.Iters, o.Seed)
-	return cachedReport(key, func() (*app.Report, error) {
+	return cachedReport(gnnKey(o, p, spec, dsSpec, model, supervised, ratio), func() (*app.Report, error) {
 		return runGNNUncached(o, p, spec, dsSpec, model, supervised, ratio)
 	})
 }
@@ -74,9 +90,7 @@ func runGNNUncached(o Options, p *platform.Platform, spec baselines.Spec, dsSpec
 // runDLR builds and measures one DLR configuration.
 func runDLR(o Options, p *platform.Platform, spec baselines.Spec, dsSpec workload.DLRSpec,
 	model string, ratio float64) (*app.Report, error) {
-	key := fmt.Sprintf("dlr/%s/%s/%s/%s/%s/%g/%g/%d/%d",
-		p.Name, spec.Name, spec.Mechanism, dsSpec.Name, model, ratio, o.Scale, o.Iters, o.Seed)
-	return cachedReport(key, func() (*app.Report, error) {
+	return cachedReport(dlrKey(o, p, spec, dsSpec, model, ratio), func() (*app.Report, error) {
 		return runDLRUncached(o, p, spec, dsSpec, model, ratio)
 	})
 }
@@ -97,6 +111,100 @@ func runDLRUncached(o Options, p *platform.Platform, spec baselines.Spec, dsSpec
 		return nil, err
 	}
 	return a.RunIters(o.Iters)
+}
+
+// job is one pre-warm unit: a report computed ahead of a figure's render
+// pass so independent configurations run concurrently.
+type job struct {
+	// group: jobs sharing a group run sequentially in submission order.
+	// DLR runs sharing a dataset draw from its single RNG stream, so their
+	// relative order decides the exact batches each run sees; the group is
+	// keyed by the dataset so that order matches a sequential render pass.
+	group string
+	// key is the report-cache key; duplicate keys prewarm once.
+	key string
+	run func() error
+}
+
+// gnnJob is a prewarm unit for one GNN configuration. GNN runs share no
+// mutable state (each derives a fresh RNG from the seed), so every job is
+// its own group and all of them may run concurrently.
+func gnnJob(o Options, p *platform.Platform, spec baselines.Spec, dsSpec graph.DatasetSpec,
+	model string, supervised bool, ratio float64) job {
+	key := gnnKey(o, p, spec, dsSpec, model, supervised, ratio)
+	return job{
+		group: key,
+		key:   key,
+		run: func() error {
+			_, err := runGNN(o, p, spec, dsSpec, model, supervised, ratio)
+			return err
+		},
+	}
+}
+
+// dlrJob is a prewarm unit for one DLR configuration, grouped by the
+// dataset instance whose RNG stream the run consumes.
+func dlrJob(o Options, p *platform.Platform, spec baselines.Spec, dsSpec workload.DLRSpec,
+	model string, ratio float64) job {
+	return job{
+		group: fmt.Sprintf("dlr-ds/%s/%g/%d", dsSpec.Name, o.Scale, o.Seed),
+		key:   dlrKey(o, p, spec, dsSpec, model, ratio),
+		run: func() error {
+			_, err := runDLR(o, p, spec, dsSpec, model, ratio)
+			return err
+		},
+	}
+}
+
+// prewarm fills the report cache for a figure's whole configuration matrix
+// on a bounded worker pool before the (sequential) render pass formats it.
+// Figures must submit jobs in render order: groups run concurrently, but
+// within a group jobs run sequentially in submission order, which replays
+// the exact schedule a sequential run would use for state-sharing runs.
+// Errors are not surfaced here — they are cached, and the render pass hits
+// them at the same point a sequential run would.
+func prewarm(o Options, jobs []job) {
+	workers := o.workerCount()
+	if workers <= 1 || len(jobs) <= 1 {
+		return
+	}
+	seen := make(map[string]bool, len(jobs))
+	groups := make(map[string][]job)
+	var order []string
+	for _, j := range jobs {
+		if seen[j.key] {
+			continue
+		}
+		seen[j.key] = true
+		if groups[j.group] == nil {
+			order = append(order, j.group)
+		}
+		groups[j.group] = append(groups[j.group], j)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, g := range order {
+		gjobs := groups[g]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(gjobs []job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for _, j := range gjobs {
+				_ = j.run()
+			}
+		}(gjobs)
+	}
+	wg.Wait()
+}
+
+// workerCount resolves Options.Workers: 0 means one worker per CPU, 1 means
+// fully sequential (prewarm disabled).
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Batch sizes follow the paper's 8K per GPU, scaled down with the datasets

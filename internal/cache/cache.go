@@ -4,10 +4,21 @@
 // memory, the foreground hotness sampler, and the background Refresher that
 // periodically re-solves the policy and applies the diff in small batches
 // with bounded foreground impact (§7.2, Fig. 17).
+//
+// Concurrency model: all placement state (hash tables, arenas, the
+// placement itself) lives in an immutable snapshot behind an atomic
+// pointer. Readers (Locate, Gather, HitCounts) load the snapshot once per
+// call and never observe mutation; the Refresher builds the next snapshot
+// off to the side — cloning the tables and arenas, applying the eviction/
+// insertion diff in small batches — and publishes it with a single atomic
+// swap. Any individual read therefore sees either the old or the new
+// placement in full, never a torn mix.
 package cache
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ugache/internal/hashtable"
 	"ugache/internal/memsim"
@@ -16,14 +27,16 @@ import (
 )
 
 // RowSource supplies embedding rows from (simulated) host memory; both
-// emb.Table and emb.MultiTable implement it.
+// emb.Table and emb.MultiTable implement it. Implementations must be safe
+// for concurrent ReadRow calls.
 type RowSource interface {
 	ReadRow(key int64, dst []byte) error
 }
 
 // GPUCache is one GPU's cache: a flat hash table for locate() plus the
 // memory arena holding cached rows. Refreshes recycle evicted slots through
-// a free list (the arena itself is a bump allocator).
+// a free list (the arena itself is a bump allocator). A GPUCache belongs to
+// exactly one snapshot; once the snapshot is published it is never mutated.
 type GPUCache struct {
 	GPU        int
 	Table      *hashtable.Table
@@ -71,15 +84,65 @@ func (c *GPUCache) insert(key int64, src RowSource, buf []byte) error {
 	return c.Table.Insert(key, hashtable.Location{GPU: int32(c.GPU), Offset: off})
 }
 
-// System is the multi-GPU cache state for one placement.
+// clone deep-copies the cache, pointing its arena into the given clone of
+// the snapshot's space.
+func (c *GPUCache) clone(arena *memsim.Arena) *GPUCache {
+	return &GPUCache{
+		GPU:        c.GPU,
+		Table:      c.Table.Clone(),
+		Arena:      arena,
+		EntryBytes: c.EntryBytes,
+		freeSlots:  append([]int64(nil), c.freeSlots...),
+	}
+}
+
+// snapshot is one immutable view of the multi-GPU cache: the placement it
+// materializes plus the per-GPU tables and arenas holding it.
+type snapshot struct {
+	placement *solver.Placement
+	caches    []*GPUCache
+	space     *memsim.Space
+}
+
+// clone deep-copies the snapshot so the Refresher can mutate it privately.
+func (sn *snapshot) clone() *snapshot {
+	cp := &snapshot{
+		placement: sn.placement,
+		caches:    make([]*GPUCache, len(sn.caches)),
+		space:     sn.space.Clone(),
+	}
+	for g, c := range sn.caches {
+		cp.caches[g] = c.clone(cp.space.GPUs[g])
+	}
+	return cp
+}
+
+// System is the multi-GPU cache state for one placement. It is safe for
+// any number of concurrent readers; Refresh may run concurrently with them
+// (concurrent Refreshes serialize among themselves).
 type System struct {
 	P          *platform.Platform
-	Placement  *solver.Placement
-	Caches     []*GPUCache
 	EntryBytes int
-	space      *memsim.Space
-	source     RowSource // nil in size-only mode
+
+	source RowSource // nil in size-only mode
+	snap   atomic.Pointer[snapshot]
+	// refreshMu serializes writers: Refresh clones the current snapshot,
+	// mutates the clone, and publishes it; two concurrent refreshes must not
+	// both clone the same base.
+	refreshMu sync.Mutex
 }
+
+// Placement returns the currently published placement.
+func (s *System) Placement() *solver.Placement { return s.snap.Load().placement }
+
+// Caches returns the currently published per-GPU caches. The returned
+// snapshot is immutable; a concurrent Refresh publishes new caches rather
+// than mutating these.
+func (s *System) Caches() []*GPUCache { return s.snap.Load().caches }
+
+// Functional reports whether the system holds real bytes (a RowSource was
+// attached at Fill time).
+func (s *System) Functional() bool { return s.source != nil }
 
 // FillOptions controls Fill.
 type FillOptions struct {
@@ -105,8 +168,8 @@ func Fill(p *platform.Platform, pl *solver.Placement, opt FillOptions) (*System,
 		return nil, fmt.Errorf("cache: %d capacities for %d GPUs", len(opt.CapacityEntries), p.N)
 	}
 	eb := pl.EntryBytes
-	sys := &System{P: p, Placement: pl, EntryBytes: eb, source: opt.Source}
-	sys.Caches = make([]*GPUCache, p.N)
+	sys := &System{P: p, EntryBytes: eb, source: opt.Source}
+	sn := &snapshot{placement: pl, caches: make([]*GPUCache, p.N)}
 	var err error
 	if opt.Source != nil {
 		var total int64
@@ -115,7 +178,7 @@ func Fill(p *platform.Platform, pl *solver.Placement, opt FillOptions) (*System,
 				total = c
 			}
 		}
-		sys.space, err = memsim.NewBackedSpace(p.N, total*int64(eb))
+		sn.space, err = memsim.NewBackedSpace(p.N, total*int64(eb))
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +189,7 @@ func Fill(p *platform.Platform, pl *solver.Placement, opt FillOptions) (*System,
 				maxCap = c
 			}
 		}
-		sys.space = memsim.NewSpace(p.N, maxCap*int64(eb))
+		sn.space = memsim.NewSpace(p.N, maxCap*int64(eb))
 	}
 	used := pl.CapacityUsed()
 	for g := 0; g < p.N; g++ {
@@ -134,10 +197,10 @@ func Fill(p *platform.Platform, pl *solver.Placement, opt FillOptions) (*System,
 			return nil, fmt.Errorf("cache: gpu %d placement uses %d entries, capacity %d",
 				g, used[g], opt.CapacityEntries[g])
 		}
-		sys.Caches[g] = &GPUCache{
+		sn.caches[g] = &GPUCache{
 			GPU:        g,
 			Table:      hashtable.New(int(used[g]) + 16),
-			Arena:      sys.space.GPUs[g],
+			Arena:      sn.space.GPUs[g],
 			EntryBytes: eb,
 		}
 	}
@@ -149,7 +212,7 @@ func Fill(p *platform.Platform, pl *solver.Placement, opt FillOptions) (*System,
 			if !stored {
 				continue
 			}
-			c := sys.Caches[g]
+			c := sn.caches[g]
 			for r := b.Start; r < b.End; r++ {
 				key := int64(pl.ByRank[r])
 				off, err := c.Arena.Alloc(int64(eb))
@@ -170,33 +233,41 @@ func Fill(p *platform.Platform, pl *solver.Placement, opt FillOptions) (*System,
 			}
 		}
 	}
+	sys.snap.Store(sn)
 	return sys, nil
 }
 
-// Locate resolves where GPU dst finds a key: its access-arrangement source
-// and, when that source is a GPU, the concrete <GPU, Offset> location from
-// the owner's hash table (the locate() step of the extract function, §3.2).
-func (s *System) Locate(dst int, key int64) (src platform.SourceID, loc hashtable.Location, err error) {
-	if dst < 0 || dst >= s.P.N {
+// locate resolves where GPU dst finds a key within one snapshot.
+func (sn *snapshot) locate(p *platform.Platform, dst int, key int64) (src platform.SourceID, loc hashtable.Location, err error) {
+	if dst < 0 || dst >= p.N {
 		return 0, loc, fmt.Errorf("cache: bad gpu %d", dst)
 	}
-	if key < 0 || key >= s.Placement.NumEntries() {
+	if key < 0 || key >= sn.placement.NumEntries() {
 		return 0, loc, fmt.Errorf("cache: key %d out of range", key)
 	}
-	src = s.Placement.SourceOf(dst, key)
-	if src == s.P.Host() {
+	src = sn.placement.SourceOf(dst, key)
+	if src == p.Host() {
 		return src, loc, nil
 	}
-	l, ok := s.Caches[src].Table.Lookup(key)
+	l, ok := sn.caches[src].Table.Lookup(key)
 	if !ok {
 		return 0, loc, fmt.Errorf("cache: placement says gpu %d holds key %d but the hashtable disagrees", src, key)
 	}
 	return src, l, nil
 }
 
+// Locate resolves where GPU dst finds a key: its access-arrangement source
+// and, when that source is a GPU, the concrete <GPU, Offset> location from
+// the owner's hash table (the locate() step of the extract function, §3.2).
+func (s *System) Locate(dst int, key int64) (src platform.SourceID, loc hashtable.Location, err error) {
+	return s.snap.Load().locate(s.P, dst, key)
+}
+
 // Gather functionally extracts keys for GPU dst into out (len(keys) rows of
 // EntryBytes): cached rows are peer-read from the owning GPU's arena,
-// misses fall back to the host source. Requires functional mode.
+// misses fall back to the host source. Requires functional mode. The whole
+// gather resolves against a single snapshot, so concurrent refreshes never
+// produce a torn result.
 func (s *System) Gather(dst int, keys []int64, out []byte) error {
 	if s.source == nil {
 		return fmt.Errorf("cache: Gather requires functional mode (FillOptions.Source)")
@@ -204,9 +275,10 @@ func (s *System) Gather(dst int, keys []int64, out []byte) error {
 	if len(out) < len(keys)*s.EntryBytes {
 		return fmt.Errorf("cache: output buffer %d too small for %d rows", len(out), len(keys))
 	}
+	sn := s.snap.Load()
 	for i, key := range keys {
 		dstRow := out[i*s.EntryBytes : (i+1)*s.EntryBytes]
-		src, loc, err := s.Locate(dst, key)
+		src, loc, err := sn.locate(s.P, dst, key)
 		if err != nil {
 			return err
 		}
@@ -216,7 +288,7 @@ func (s *System) Gather(dst int, keys []int64, out []byte) error {
 			}
 			continue
 		}
-		if err := s.space.PeerRead(int(src), loc.Offset, dstRow); err != nil {
+		if err := sn.space.PeerRead(int(src), loc.Offset, dstRow); err != nil {
 			return err
 		}
 	}
@@ -224,10 +296,12 @@ func (s *System) Gather(dst int, keys []int64, out []byte) error {
 }
 
 // HitCounts classifies a batch of keys for one GPU (local, remote, host) —
-// the measured counterpart of solver.Placement.Stats.
+// the measured counterpart of solver.Placement.Stats. The whole batch is
+// classified against a single snapshot.
 func (s *System) HitCounts(dst int, keys []int64) (local, remote, host int, err error) {
+	sn := s.snap.Load()
 	for _, key := range keys {
-		src, _, err := s.Locate(dst, key)
+		src, _, err := sn.locate(s.P, dst, key)
 		switch {
 		case err != nil:
 			return 0, 0, 0, err

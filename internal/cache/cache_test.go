@@ -222,7 +222,7 @@ func TestRefresh(t *testing.T) {
 	}
 
 	// The system now serves the new placement, and gathers still match.
-	if sys.Placement != pl2 && sys.Placement.Policy == "" {
+	if cur := sys.Placement(); cur != pl2 && cur.Policy == "" {
 		t.Fatal("placement not switched")
 	}
 	keys := []int64{0, 1, 2, 3999}
@@ -298,7 +298,7 @@ func TestRepeatedRefreshReusesSlots(t *testing.T) {
 		if _, err := sys.Refresh(target, 0.001, cfg); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		used := sys.Caches[0].Arena.Used()
+		used := sys.Caches()[0].Arena.Used()
 		if usedAfterFirst < 0 {
 			usedAfterFirst = used
 		} else if used > usedAfterFirst {

@@ -125,11 +125,19 @@ type RefreshReport struct {
 // batches interleaved with foreground batches. baseIterTime is the
 // foreground iteration latency before the refresh (afterIterTime may
 // differ; the timeline uses base during and after — callers re-measure).
+//
+// Refresh is safe to run concurrently with readers: the diff is applied to
+// a private clone of the current snapshot and published with one atomic
+// swap, only after every batch applied cleanly. On error the published
+// snapshot is untouched. Concurrent Refresh calls serialize.
 func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg RefreshConfig) (*RefreshReport, error) {
 	if newPl == nil {
 		return nil, fmt.Errorf("cache: nil new placement")
 	}
-	if newPl.NumGPUs != s.P.N || newPl.NumEntries() != s.Placement.NumEntries() {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	old := s.snap.Load()
+	if newPl.NumGPUs != s.P.N || newPl.NumEntries() != old.placement.NumEntries() {
 		return nil, fmt.Errorf("cache: new placement shape mismatch")
 	}
 	if baseIterTime <= 0 {
@@ -142,7 +150,7 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 	// Diff old vs new storage per GPU.
 	var evicted, inserted int64
 	for g := 0; g < s.P.N; g++ {
-		oldKeys := storedKeySet(s.Placement, g)
+		oldKeys := storedKeySet(old.placement, g)
 		newKeys := storedKeySet(newPl, g)
 		for k := range oldKeys {
 			if _, ok := newKeys[k]; !ok {
@@ -198,14 +206,16 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 
 	// Apply the diff incrementally, GPU by GPU: evictions first (freeing
 	// slots), then insertions into the recycled slots — the small-batch
-	// update of §7.2. The Refresher orders hashtable and content updates so
-	// foreground reads stay consistent; in the simulation each key's evict/
-	// insert is atomic.
+	// update of §7.2. The updates go to a private clone of the snapshot, so
+	// foreground reads keep resolving against the old tables and arenas
+	// until the clone is published below.
+	next := old.clone()
+	next.placement = newPl
 	buf := make([]byte, s.EntryBytes)
 	for g := 0; g < s.P.N; g++ {
-		oldKeys := storedKeySet(s.Placement, g)
+		oldKeys := storedKeySet(old.placement, g)
 		newKeys := storedKeySet(newPl, g)
-		c := s.Caches[g]
+		c := next.caches[g]
 		for k := range oldKeys {
 			if _, keep := newKeys[k]; !keep {
 				if !c.evict(k) {
@@ -221,7 +231,7 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 			}
 		}
 	}
-	s.Placement = newPl
+	s.snap.Store(next)
 	return rep, nil
 }
 

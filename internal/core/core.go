@@ -5,12 +5,21 @@
 // new hotness in the background and applies the diff with bounded
 // foreground impact (§7.2).
 //
+// A built System is safe for concurrent use: lookups and extractions read
+// an immutable engine state (placement + extractor) behind an atomic
+// pointer, and Refresh publishes a fully built replacement state only
+// after every fallible step succeeded. The cache layer underneath applies
+// the same snapshot-swap discipline to its hash tables and arenas.
+//
 // This package is the internal engine behind the public ugache package at
 // the module root.
 package core
 
 import (
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"ugache/internal/cache"
 	"ugache/internal/extract"
@@ -30,9 +39,10 @@ type Config struct {
 	// EntryBytes is the embedding row size (required).
 	EntryBytes int
 	// CacheEntriesPerGPU sizes each GPU's cache in entries. If zero,
-	// CacheRatio is used instead.
+	// CacheRatio is used instead; negative values are rejected.
 	CacheEntriesPerGPU int64
-	// CacheRatio sizes each GPU's cache as a fraction of all entries.
+	// CacheRatio sizes each GPU's cache as a fraction of all entries. Tiny
+	// ratios round up to at least one entry.
 	CacheRatio float64
 	// Policy picks the placement algorithm (default solver.UGache{}).
 	Policy solver.Policy
@@ -49,17 +59,26 @@ type Config struct {
 	Placement *solver.Placement
 }
 
+// engineState is the immutable placement-derived state one extraction or
+// model query reads. Refresh swaps the whole struct at once.
+type engineState struct {
+	placement *solver.Placement
+	extractor *extract.Extractor
+	input     solver.Input
+}
+
 // System is a built UGache instance.
 type System struct {
 	P         *platform.Platform
-	Placement *solver.Placement
 	Cache     *cache.System
-	Extractor *extract.Extractor
 	Mechanism extract.Mechanism
 
-	input    solver.Input
 	policy   solver.Policy
 	capacity []int64
+
+	// refreshMu serializes Refresh calls; readers never take it.
+	refreshMu sync.Mutex
+	state     atomic.Pointer[engineState]
 }
 
 // Build solves the policy and fills the caches.
@@ -73,12 +92,20 @@ func Build(cfg Config) (*System, error) {
 	if cfg.EntryBytes <= 0 {
 		return nil, fmt.Errorf("core: EntryBytes must be positive")
 	}
+	if cfg.CacheEntriesPerGPU < 0 {
+		return nil, fmt.Errorf("core: CacheEntriesPerGPU must be positive, got %d", cfg.CacheEntriesPerGPU)
+	}
 	capPer := cfg.CacheEntriesPerGPU
 	if capPer == 0 {
 		if cfg.CacheRatio <= 0 || cfg.CacheRatio > 1 {
 			return nil, fmt.Errorf("core: need CacheEntriesPerGPU or CacheRatio in (0, 1]")
 		}
-		capPer = int64(cfg.CacheRatio * float64(len(cfg.Hotness)))
+		// Round up so a tiny ratio still yields a usable (>= 1 entry) cache
+		// instead of silently truncating to zero.
+		capPer = int64(math.Ceil(cfg.CacheRatio * float64(len(cfg.Hotness))))
+		if capPer < 1 {
+			capPer = 1
+		}
 	}
 	policy := cfg.Policy
 	if policy == nil {
@@ -119,28 +146,37 @@ func Build(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		P:         cfg.Platform,
-		Placement: pl,
 		Cache:     cs,
-		Extractor: ex,
 		Mechanism: cfg.Mechanism,
-		input:     in,
 		policy:    policy,
 		capacity:  capacity,
-	}, nil
+	}
+	s.state.Store(&engineState{placement: pl, extractor: ex, input: in})
+	return s, nil
 }
+
+// Placement returns the currently active placement.
+func (s *System) Placement() *solver.Placement { return s.state.Load().placement }
+
+// Extractor returns the extractor for the currently active placement.
+func (s *System) Extractor() *extract.Extractor { return s.state.Load().extractor }
+
+// Functional reports whether Lookup can return real bytes (a Source was
+// attached at Build time).
+func (s *System) Functional() bool { return s.Cache.Functional() }
 
 // ExtractBatch simulates one iteration's extraction with the configured
 // mechanism and returns the timing result.
 func (s *System) ExtractBatch(b *extract.Batch) (*extract.Result, error) {
-	return s.Extractor.Run(s.Mechanism, b)
+	return s.state.Load().extractor.Run(s.Mechanism, b)
 }
 
 // ExtractWith simulates one extraction with an explicit mechanism
 // (baseline comparisons).
 func (s *System) ExtractWith(m extract.Mechanism, b *extract.Batch) (*extract.Result, error) {
-	return s.Extractor.Run(m, b)
+	return s.state.Load().extractor.Run(m, b)
 }
 
 // Lookup functionally gathers rows for GPU dst into out; requires a Source.
@@ -150,23 +186,32 @@ func (s *System) Lookup(dst int, keys []int64, out []byte) error {
 
 // Stats returns the modelled per-GPU access split.
 func (s *System) Stats() []solver.HitStats {
-	return s.Placement.Stats(s.input.Hotness)
+	st := s.state.Load()
+	return st.placement.Stats(st.input.Hotness)
 }
 
 // EstimatedTimes returns the §6.2 model's per-GPU extraction estimate.
 func (s *System) EstimatedTimes() []float64 {
-	return s.Placement.EstTimes
+	return s.state.Load().placement.EstTimes
 }
 
 // Refresh re-solves the policy against new hotness and applies it per §7.2,
 // returning the Fig.-17-style report. The system's placement, caches and
 // extractor all switch to the new solution.
+//
+// Refresh is atomic with respect to failures: the new extractor is built
+// before anything is committed, and the placement/input/extractor triple is
+// published in one swap only after the cache refresh succeeded. Concurrent
+// lookups and extractions keep running against the old state throughout.
 func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg cache.RefreshConfig) (*cache.RefreshReport, error) {
-	if int64(len(newHotness)) != s.Placement.NumEntries() {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	old := s.state.Load()
+	if int64(len(newHotness)) != old.placement.NumEntries() {
 		return nil, fmt.Errorf("core: hotness for %d entries, placement has %d",
-			len(newHotness), s.Placement.NumEntries())
+			len(newHotness), old.placement.NumEntries())
 	}
-	in := s.input
+	in := old.input
 	in.Hotness = newHotness
 	pl, err := s.policy.Solve(&in)
 	if err != nil {
@@ -175,17 +220,17 @@ func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg 
 	if err := pl.Validate(&in); err != nil {
 		return nil, err
 	}
-	rep, err := s.Cache.Refresh(pl, baseIterTime, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.Placement = pl
-	s.input = in
+	// Build every fallible piece before touching shared state, so a failed
+	// refresh leaves the old placement, caches and extractor paired.
 	ex, err := extract.New(s.P, pl)
 	if err != nil {
 		return nil, err
 	}
-	s.Extractor = ex
+	rep, err := s.Cache.Refresh(pl, baseIterTime, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.state.Store(&engineState{placement: pl, extractor: ex, input: in})
 	return rep, nil
 }
 
@@ -193,13 +238,14 @@ func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg 
 // hotness under the current placement and report whether the estimated
 // extraction time degraded by more than threshold (e.g. 0.1 = 10%).
 func (s *System) ShouldRefresh(newHotness workload.Hotness, threshold float64) (bool, error) {
-	if int64(len(newHotness)) != s.Placement.NumEntries() {
+	st := s.state.Load()
+	if int64(len(newHotness)) != st.placement.NumEntries() {
 		return false, fmt.Errorf("core: hotness length mismatch")
 	}
-	in := s.input
+	in := st.input
 	in.Hotness = newHotness
-	cur := maxOf(solver.EstimateTimes(&in, s.Placement))
-	old := maxOf(s.Placement.EstTimes)
+	cur := maxOf(solver.EstimateTimes(&in, st.placement))
+	old := maxOf(st.placement.EstTimes)
 	if old == 0 {
 		return cur > 0, nil
 	}

@@ -87,6 +87,73 @@ func TestBuildValidation(t *testing.T) {
 	}
 }
 
+func TestNegativeCacheEntriesRejected(t *testing.T) {
+	p := platform.ServerA()
+	_, err := Build(Config{
+		Platform:           p,
+		Hotness:            testHotness(100, 1.1, 1),
+		EntryBytes:         4,
+		CacheEntriesPerGPU: -5,
+		CacheRatio:         0.1, // must not be silently used as a fallback
+	})
+	if err == nil {
+		t.Fatal("negative CacheEntriesPerGPU accepted")
+	}
+}
+
+func TestTinyCacheRatioRoundsUp(t *testing.T) {
+	// A ratio so small that ratio*n truncates to zero entries must still
+	// build a system with at least one cached entry per GPU.
+	p := platform.ServerA()
+	sys, err := Build(Config{
+		Platform:   p,
+		Hotness:    testHotness(100, 1.1, 1),
+		EntryBytes: 4,
+		CacheRatio: 0.001, // 0.1 entries -> rounds up to 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := sys.Placement().CapacityUsed()
+	total := int64(0)
+	for _, u := range used {
+		total += u
+	}
+	if total == 0 {
+		t.Fatal("tiny ratio produced an empty cache")
+	}
+}
+
+func TestRefreshFailureLeavesStateIntact(t *testing.T) {
+	p := platform.ServerC()
+	h := testHotness(2000, 1.1, 5)
+	sys, err := Build(Config{Platform: p, Hotness: h, EntryBytes: 64, CacheRatio: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Placement()
+	h2 := make(workload.Hotness, len(h))
+	for i := range h2 {
+		h2[i] = h[len(h)-1-i]
+	}
+	// Invalid refresh config: cache.Refresh fails after the solve succeeded.
+	bad := cache.DefaultRefreshConfig()
+	bad.BatchEntries = 0
+	if _, err := sys.Refresh(h2, 0.001, bad); err == nil {
+		t.Fatal("invalid refresh config accepted")
+	}
+	if sys.Placement() != before {
+		t.Fatal("failed refresh replaced the placement")
+	}
+	// A well-formed refresh still succeeds afterwards.
+	if _, err := sys.Refresh(h2, 0.001, cache.DefaultRefreshConfig()); err != nil {
+		t.Fatalf("refresh after failed attempt: %v", err)
+	}
+	if sys.Placement() == before {
+		t.Fatal("successful refresh did not swap the placement")
+	}
+}
+
 func TestFunctionalLookup(t *testing.T) {
 	p := platform.ServerA()
 	table, err := emb.NewMaterialized("t", 3000, 8, emb.Float32, 7)
@@ -210,7 +277,7 @@ func TestExplicitCapacityOverridesRatio(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, u := range sys.Placement.CapacityUsed() {
+	for _, u := range sys.Placement().CapacityUsed() {
 		if u > 123 {
 			t.Fatalf("capacity override ignored: %d", u)
 		}
@@ -226,7 +293,7 @@ func TestPreSolvedPlacement(t *testing.T) {
 	}
 	// Roundtrip the placement through the binary format and rebuild.
 	var buf bytes.Buffer
-	if err := base.Placement.Save(&buf); err != nil {
+	if err := base.Placement().Save(&buf); err != nil {
 		t.Fatal(err)
 	}
 	loaded, err := solver.LoadPlacement(&buf)
@@ -241,7 +308,7 @@ func TestPreSolvedPlacement(t *testing.T) {
 		t.Fatal(err)
 	}
 	for e := int64(0); e < 2000; e += 101 {
-		if sys.Placement.SourceOf(1, e) != base.Placement.SourceOf(1, e) {
+		if sys.Placement().SourceOf(1, e) != base.Placement().SourceOf(1, e) {
 			t.Fatal("pre-solved placement not used")
 		}
 	}
@@ -251,6 +318,6 @@ func TestPreSolvedPlacement(t *testing.T) {
 		Placement: loaded,
 	})
 	if err == nil {
-		t.Fatalf("oversized placement accepted: %v", tiny.Placement.CapacityUsed())
+		t.Fatalf("oversized placement accepted: %v", tiny.Placement().CapacityUsed())
 	}
 }

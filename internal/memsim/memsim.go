@@ -62,6 +62,18 @@ func (a *Arena) Alloc(n int64) (int64, error) {
 // at once; a general free list is not needed).
 func (a *Arena) Reset() { a.used = 0 }
 
+// Clone returns a deep copy of the arena. The background Refresher applies
+// cache updates to a clone so concurrent readers keep a consistent view of
+// the published arena until the new snapshot is swapped in (§7.2).
+func (a *Arena) Clone() *Arena {
+	cp := *a
+	if a.data != nil {
+		cp.data = make([]byte, len(a.data))
+		copy(cp.data, a.data)
+	}
+	return &cp
+}
+
 // Write copies b to the given offset. It is a no-op (after bounds checking)
 // on unbacked arenas.
 func (a *Arena) Write(off int64, b []byte) error {
@@ -116,6 +128,15 @@ func NewBackedSpace(n int, capacityEach int64) (*Space, error) {
 		s.GPUs[i] = a
 	}
 	return s, nil
+}
+
+// Clone returns a deep copy of the space (every arena cloned).
+func (s *Space) Clone() *Space {
+	cp := &Space{GPUs: make([]*Arena, len(s.GPUs))}
+	for i, a := range s.GPUs {
+		cp.GPUs[i] = a.Clone()
+	}
+	return cp
 }
 
 // PeerRead reads from any GPU's arena — the zero-copy unified-addressing

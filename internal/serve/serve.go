@@ -1,0 +1,288 @@
+// Package serve is the concurrent serving engine on top of core.System: a
+// per-GPU worker pulls lookup requests off a queue and coalesces them into
+// iteration-sized extraction batches (max-batch / max-wait, the way DLR
+// inference servers batch sparse lookups), so many small client requests
+// ride one locate/extract pass — the batched-extraction regime the paper's
+// model assumes (§3.2, §6.2).
+//
+// The engine works in both modes of the underlying system: in functional
+// mode each request gets its embedding rows back; in timing-only mode it
+// gets just the simulated extraction cost of the coalesced batch it rode
+// in. Requests never block each other across GPUs, and the system under-
+// neath may Refresh concurrently — every coalesced batch resolves against
+// one placement snapshot.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ugache/internal/core"
+	"ugache/internal/extract"
+)
+
+// Config tunes the coalescer.
+type Config struct {
+	// MaxBatchKeys flushes a batch once this many (non-deduplicated) keys
+	// are pending on a GPU (default 8192, one paper-sized iteration).
+	MaxBatchKeys int
+	// MaxWait flushes a non-empty batch after this long even if it is not
+	// full (default 2ms) — the latency/throughput knob.
+	MaxWait time.Duration
+	// QueueDepth is the per-GPU request queue buffer (default 256).
+	QueueDepth int
+}
+
+func (c Config) normalize() Config {
+	if c.MaxBatchKeys <= 0 {
+		c.MaxBatchKeys = 8192
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// Result is what one request gets back.
+type Result struct {
+	// Rows holds len(keys) rows of EntryBytes in functional mode; nil in
+	// timing-only mode.
+	Rows []byte
+	// SimSeconds is the modelled extraction time of the coalesced batch
+	// this request rode in (shared by every request in the batch).
+	SimSeconds float64
+	// BatchKeys is the unique-key size of that coalesced batch.
+	BatchKeys int
+	// Err is set when the lookup failed (bad key, closed server, ...).
+	Err error
+}
+
+// Stats are cumulative serving counters.
+type Stats struct {
+	Requests      int64   // requests completed
+	Batches       int64   // coalesced batches flushed
+	RequestedKeys int64   // keys requested (before dedup)
+	UniqueKeys    int64   // unique keys actually extracted
+	SimSeconds    float64 // total simulated extraction time
+}
+
+// MeanBatchKeys is the mean unique-key size of a coalesced batch.
+func (s Stats) MeanBatchKeys() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.UniqueKeys) / float64(s.Batches)
+}
+
+type request struct {
+	keys []int64
+	out  chan Result
+}
+
+// Server owns one worker goroutine per GPU.
+type Server struct {
+	sys        *core.System
+	cfg        Config
+	entryBytes int
+	functional bool
+
+	queues []chan *request
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New starts the serving engine for a built system.
+func New(sys *core.System, cfg Config) (*Server, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("serve: nil system")
+	}
+	s := &Server{
+		sys:        sys,
+		cfg:        cfg.normalize(),
+		entryBytes: sys.Cache.EntryBytes,
+		functional: sys.Functional(),
+		queues:     make([]chan *request, sys.P.N),
+		done:       make(chan struct{}),
+	}
+	for g := range s.queues {
+		s.queues[g] = make(chan *request, s.cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(g)
+	}
+	return s, nil
+}
+
+// Handle enqueues one request for GPU gpu and returns the channel its
+// Result will arrive on (buffered; the caller need not be ready). The keys
+// slice is not retained past completion but must not be mutated until the
+// result arrives.
+func (s *Server) Handle(gpu int, keys []int64) <-chan Result {
+	out := make(chan Result, 1)
+	if gpu < 0 || gpu >= len(s.queues) {
+		out <- Result{Err: fmt.Errorf("serve: bad gpu %d", gpu)}
+		return out
+	}
+	if len(keys) == 0 {
+		out <- Result{}
+		return out
+	}
+	if s.closed.Load() {
+		out <- Result{Err: fmt.Errorf("serve: server closed")}
+		return out
+	}
+	r := &request{keys: keys, out: out}
+	select {
+	case s.queues[gpu] <- r:
+	case <-s.done:
+		out <- Result{Err: fmt.Errorf("serve: server closed")}
+	}
+	return out
+}
+
+// Lookup is the synchronous form of Handle.
+func (s *Server) Lookup(gpu int, keys []int64) (Result, error) {
+	res := <-s.Handle(gpu, keys)
+	return res, res.Err
+}
+
+// Close stops accepting requests, flushes everything already queued, and
+// waits for the workers to exit. Safe to call more than once.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.done)
+	s.wg.Wait()
+}
+
+// Stats returns a copy of the cumulative counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// worker is GPU g's coalescing loop: wait for one request, then keep
+// accumulating until the batch is full or MaxWait elapsed, then flush.
+func (s *Server) worker(g int) {
+	defer s.wg.Done()
+	q := s.queues[g]
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
+	for {
+		var first *request
+		select {
+		case first = <-q:
+		case <-s.done:
+			s.drain(g, q)
+			return
+		}
+		batch := []*request{first}
+		pending := len(first.keys)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(s.cfg.MaxWait)
+	fill:
+		for pending < s.cfg.MaxBatchKeys {
+			select {
+			case r := <-q:
+				batch = append(batch, r)
+				pending += len(r.keys)
+			case <-timer.C:
+				break fill
+			case <-s.done:
+				break fill
+			}
+		}
+		s.flush(g, batch)
+	}
+}
+
+// drain flushes whatever is still queued at Close time so no Handle caller
+// is left waiting.
+func (s *Server) drain(g int, q chan *request) {
+	for {
+		select {
+		case r := <-q:
+			s.flush(g, []*request{r})
+		default:
+			return
+		}
+	}
+}
+
+// flush coalesces the batch's keys, runs one extraction, and fans the
+// per-request results back out.
+func (s *Server) flush(g int, batch []*request) {
+	// Dedupe across requests, remembering each unique key's row index.
+	index := make(map[int64]int)
+	var uniq []int64
+	requested := 0
+	for _, r := range batch {
+		requested += len(r.keys)
+		for _, k := range r.keys {
+			if _, ok := index[k]; !ok {
+				index[k] = len(uniq)
+				uniq = append(uniq, k)
+			}
+		}
+	}
+
+	// One simulated extraction for the whole coalesced batch.
+	eb := &extract.Batch{Keys: make([][]int64, s.sys.P.N)}
+	eb.Keys[g] = uniq
+	res, err := s.sys.ExtractBatch(eb)
+	if err != nil {
+		s.fail(batch, err)
+		return
+	}
+
+	// One functional gather for the unique keys, if the system holds bytes.
+	var rows []byte
+	if s.functional {
+		rows = make([]byte, len(uniq)*s.entryBytes)
+		if err := s.sys.Lookup(g, uniq, rows); err != nil {
+			s.fail(batch, err)
+			return
+		}
+	}
+
+	for _, r := range batch {
+		out := Result{SimSeconds: res.Time, BatchKeys: len(uniq)}
+		if rows != nil {
+			out.Rows = make([]byte, len(r.keys)*s.entryBytes)
+			for i, k := range r.keys {
+				src := rows[index[k]*s.entryBytes : (index[k]+1)*s.entryBytes]
+				copy(out.Rows[i*s.entryBytes:], src)
+			}
+		}
+		r.out <- out
+	}
+
+	s.mu.Lock()
+	s.stats.Requests += int64(len(batch))
+	s.stats.Batches++
+	s.stats.RequestedKeys += int64(requested)
+	s.stats.UniqueKeys += int64(len(uniq))
+	s.stats.SimSeconds += res.Time
+	s.mu.Unlock()
+}
+
+func (s *Server) fail(batch []*request, err error) {
+	for _, r := range batch {
+		r.out <- Result{Err: err}
+	}
+}

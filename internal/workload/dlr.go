@@ -132,6 +132,18 @@ func (d *DLRDataset) GenBatch(batchSize int) []int64 {
 	return keys
 }
 
+// GenBatchWith is GenBatch drawing from an explicit generator instead of
+// the dataset's own stream — concurrent clients each use their own.
+func (d *DLRDataset) GenBatchWith(r *rng.Rand, batchSize int) []int64 {
+	keys := make([]int64, 0, batchSize*len(d.zipfs))
+	for s := 0; s < batchSize; s++ {
+		for t, z := range d.zipfs {
+			keys = append(keys, d.MT.Offset(t)+z.Sample(r))
+		}
+	}
+	return keys
+}
+
 // KeysPerSample returns how many keys one inference sample contributes.
 func (d *DLRDataset) KeysPerSample() int { return len(d.zipfs) }
 

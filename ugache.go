@@ -46,6 +46,7 @@ import (
 	"ugache/internal/extract"
 	"ugache/internal/platform"
 	"ugache/internal/rng"
+	"ugache/internal/serve"
 	"ugache/internal/solver"
 	"ugache/internal/workload"
 )
@@ -187,6 +188,26 @@ type HotnessSampler = cache.HotnessSampler
 func NewHotnessSampler(numEntries int64, every int) *HotnessSampler {
 	return cache.NewHotnessSampler(numEntries, every)
 }
+
+// ServeConfig tunes the serving engine's request coalescer (max-batch /
+// max-wait deadlines, queue depth).
+type ServeConfig = serve.Config
+
+// Server is the concurrent serving engine: one worker per GPU coalesces
+// many small lookup requests into iteration-sized extraction batches.
+// Lookups run concurrently with background Refresh calls on the system.
+type Server = serve.Server
+
+// ServeResult is one served request's outcome: its rows (functional mode)
+// plus the simulated extraction cost of the coalesced batch it rode in.
+type ServeResult = serve.Result
+
+// ServeStats are the engine's cumulative counters.
+type ServeStats = serve.Stats
+
+// Serve starts the serving engine on a built system. Close the returned
+// server to stop its workers.
+func Serve(sys *System, cfg ServeConfig) (*Server, error) { return serve.New(sys, cfg) }
 
 // Rand is the repository's deterministic random generator.
 type Rand = rng.Rand

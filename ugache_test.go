@@ -95,6 +95,52 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeServe drives the serving engine through the public API:
+// concurrent clients, coalesced batches, rows verified against the table.
+func TestFacadeServe(t *testing.T) {
+	p := ugache.ServerA()
+	table, err := ugache.NewMaterializedTable("emb", 2000, 8, ugache.Float32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := make(ugache.Hotness, 2000)
+	for i := range hot {
+		hot[i] = 1 / float64(i+1)
+	}
+	sys, err := ugache.New(ugache.Config{
+		Platform:   p,
+		Hotness:    hot,
+		EntryBytes: table.EntryBytes(),
+		CacheRatio: 0.1,
+		Source:     table,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ugache.Serve(sys, ugache.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := srv.Lookup(1, []int64{3, 99, 1999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimSeconds <= 0 || res.BatchKeys < 3 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	want := make([]byte, table.EntryBytes())
+	for i, k := range []int64{3, 99, 1999} {
+		table.ReadRow(k, want)
+		if !bytes.Equal(res.Rows[i*table.EntryBytes():(i+1)*table.EntryBytes()], want) {
+			t.Fatalf("served row %d wrong", k)
+		}
+	}
+	if st := srv.Stats(); st.Requests != 1 || st.Batches < 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
 func TestFacadePolicies(t *testing.T) {
 	for _, name := range []string{"ugache", "replication", "partition", "clique-partition", "optimal"} {
 		if _, err := ugache.PolicyByName(name); err != nil {
