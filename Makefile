@@ -2,7 +2,10 @@ GO ?= go
 
 RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app
 
-.PHONY: check build test vet fmt race bench
+# Packages with testing.B microbenchmarks on the extraction hot path.
+BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve
+
+.PHONY: check build test vet fmt race bench figures
 
 check: fmt vet build test race
 
@@ -24,5 +27,11 @@ fmt:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Hot-path microbenchmarks with allocation counts (compare against the
+# checked-in BENCH_hotpath.json numbers).
 bench:
+	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS)
+
+# Regenerate the paper's tables and figures (minutes at full scale).
+figures:
 	$(GO) run ./cmd/ugache-bench -exp all

@@ -6,6 +6,7 @@
 //	ugache-bench -exp fig10,fig11          # specific experiments
 //	ugache-bench -exp all -scale 1.0       # everything at full stand-in scale
 //	ugache-bench -list                     # list experiments
+//	ugache-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //
 // Full-scale runs (-scale 1.0) regenerate the 1/100-scale dataset stand-ins
 // and take minutes; -scale 0.1 is a good smoke-test size.
@@ -20,34 +21,53 @@ import (
 	"time"
 
 	"ugache/internal/bench"
+	"ugache/internal/prof"
 )
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
-		scale   = flag.Float64("scale", 0.25, "dataset scale multiplier (1.0 = full stand-in scale)")
-		iters   = flag.Int("iters", 3, "measured iterations per configuration")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		quick   = flag.Bool("quick", false, "trim the configuration matrix")
-		workers = flag.Int("workers", 0, "pre-warm worker pool size (0 = one per CPU, 1 = sequential)")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		exps       = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		scale      = flag.Float64("scale", 0.25, "dataset scale multiplier (1.0 = full stand-in scale)")
+		iters      = flag.Int("iters", 3, "measured iterations per configuration")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		quick      = flag.Bool("quick", false, "trim the configuration matrix")
+		workers    = flag.Int("workers", 0, "pre-warm worker pool size (0 = one per CPU, 1 = sequential)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	if *list {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
+		os.Exit(1)
+	}
+	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *list)
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run(exps string, scale float64, iters int, seed uint64, quick bool, workers int, list bool) int {
+	if list {
 		names := bench.Names()
 		sort.Strings(names)
 		for _, n := range names {
 			fmt.Printf("%-18s %s\n", n, bench.Registry[n].Brief)
 		}
-		return
+		return 0
 	}
 
 	names := bench.Names()
-	if *exps != "all" {
-		names = strings.Split(*exps, ",")
+	if exps != "all" {
+		names = strings.Split(exps, ",")
 	}
-	opt := bench.Options{Scale: *scale, Iters: *iters, Seed: *seed, Quick: *quick, Workers: *workers}
+	opt := bench.Options{Scale: scale, Iters: iters, Seed: seed, Quick: quick, Workers: workers}
 	failed := 0
 	for _, name := range names {
 		name = strings.TrimSpace(name)
@@ -61,6 +81,7 @@ func main() {
 		fmt.Printf("### %s (%.1fs)\n\n%s\n", name, time.Since(t0).Seconds(), res.Text)
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

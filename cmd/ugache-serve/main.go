@@ -21,6 +21,7 @@ import (
 
 	"ugache/internal/core"
 	"ugache/internal/platform"
+	"ugache/internal/prof"
 	"ugache/internal/rng"
 	"ugache/internal/serve"
 	"ugache/internal/workload"
@@ -28,20 +29,31 @@ import (
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "SYN-A", "DLR dataset: CR, SYN-A or SYN-B")
-		server   = flag.String("server", "C", "platform: A (4xV100), B (8xV100 DGX-1) or C (8xA100)")
-		scale    = flag.Float64("scale", 0.05, "dataset scale multiplier")
-		ratio    = flag.Float64("ratio", 0.10, "per-GPU cache ratio")
-		clients  = flag.Int("clients", 8, "concurrent closed-loop clients")
-		requests = flag.Int("requests", 100, "requests per client")
-		batch    = flag.Int("batch", 16, "inference samples per request")
-		maxBatch = flag.Int("max-batch", 8192, "coalescer flush threshold in pending keys")
-		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush deadline")
-		seed     = flag.Uint64("seed", 42, "random seed")
+		dataset    = flag.String("dataset", "SYN-A", "DLR dataset: CR, SYN-A or SYN-B")
+		server     = flag.String("server", "C", "platform: A (4xV100), B (8xV100 DGX-1) or C (8xA100)")
+		scale      = flag.Float64("scale", 0.05, "dataset scale multiplier")
+		ratio      = flag.Float64("ratio", 0.10, "per-GPU cache ratio")
+		clients    = flag.Int("clients", 8, "concurrent closed-loop clients")
+		requests   = flag.Int("requests", 100, "requests per client")
+		batch      = flag.Int("batch", 16, "inference samples per request")
+		maxBatch   = flag.Int("max-batch", 8192, "coalescer flush threshold in pending keys")
+		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush deadline")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	if err := run(*dataset, *server, *scale, *ratio, *clients, *requests, *batch, *maxBatch, *maxWait, *seed); err != nil {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(*dataset, *server, *scale, *ratio, *clients, *requests, *batch, *maxBatch, *maxWait, *seed)
+	if err := stopProf(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", runErr)
 		os.Exit(1)
 	}
 }

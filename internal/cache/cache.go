@@ -130,6 +130,9 @@ type System struct {
 	// mutates the clone, and publishes it; two concurrent refreshes must not
 	// both clone the same base.
 	refreshMu sync.Mutex
+	// gatherPool recycles GatherScratch buffers for callers that use the
+	// plain Gather entry point instead of carrying their own scratch.
+	gatherPool sync.Pool
 }
 
 // Placement returns the currently published placement.
@@ -261,38 +264,6 @@ func (sn *snapshot) locate(p *platform.Platform, dst int, key int64) (src platfo
 // the owner's hash table (the locate() step of the extract function, §3.2).
 func (s *System) Locate(dst int, key int64) (src platform.SourceID, loc hashtable.Location, err error) {
 	return s.snap.Load().locate(s.P, dst, key)
-}
-
-// Gather functionally extracts keys for GPU dst into out (len(keys) rows of
-// EntryBytes): cached rows are peer-read from the owning GPU's arena,
-// misses fall back to the host source. Requires functional mode. The whole
-// gather resolves against a single snapshot, so concurrent refreshes never
-// produce a torn result.
-func (s *System) Gather(dst int, keys []int64, out []byte) error {
-	if s.source == nil {
-		return fmt.Errorf("cache: Gather requires functional mode (FillOptions.Source)")
-	}
-	if len(out) < len(keys)*s.EntryBytes {
-		return fmt.Errorf("cache: output buffer %d too small for %d rows", len(out), len(keys))
-	}
-	sn := s.snap.Load()
-	for i, key := range keys {
-		dstRow := out[i*s.EntryBytes : (i+1)*s.EntryBytes]
-		src, loc, err := sn.locate(s.P, dst, key)
-		if err != nil {
-			return err
-		}
-		if src == s.P.Host() {
-			if err := s.source.ReadRow(key, dstRow); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := sn.space.PeerRead(int(src), loc.Offset, dstRow); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // HitCounts classifies a batch of keys for one GPU (local, remote, host) —

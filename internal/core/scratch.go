@@ -1,0 +1,50 @@
+package core
+
+import (
+	"ugache/internal/cache"
+	"ugache/internal/extract"
+)
+
+// Scratch bundles the reusable buffers of the per-iteration hot path — the
+// extractor's planning/simulation scratch and the functional gather's
+// grouping/probe scratch — so a serving worker can run ExtractBatchWith and
+// LookupWith back to back without allocating (§3.2's software overhead
+// sits on the critical path of every iteration).
+//
+// A Scratch is owned by one goroutine at a time: give each worker its own,
+// or recycle through a sync.Pool. Results returned from scratch-backed
+// calls alias the scratch and are valid only until its next use; see
+// extract.Scratch for the exact aliasing contract.
+type Scratch struct {
+	extract *extract.Scratch
+	gather  *cache.GatherScratch
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use and are
+// retained across calls.
+func NewScratch() *Scratch {
+	return &Scratch{extract: extract.NewScratch(), gather: cache.NewGatherScratch()}
+}
+
+// ExtractBatchWith is ExtractBatch with an optional scratch. With a non-nil
+// scratch the returned Result aliases the scratch's buffers and is valid
+// only until the scratch's next use. A nil scratch is identical to
+// ExtractBatch (caller-owned Result).
+func (s *System) ExtractBatchWith(b *extract.Batch, sc *Scratch) (*extract.Result, error) {
+	var esc *extract.Scratch
+	if sc != nil {
+		esc = sc.extract
+	}
+	return s.state.Load().extractor.RunWith(s.Mechanism, b, esc)
+}
+
+// LookupWith is Lookup with an optional scratch for the gather's grouping
+// and probe buffers. out is caller-owned either way; a nil scratch falls
+// back to the cache layer's internal pool.
+func (s *System) LookupWith(dst int, keys []int64, out []byte, sc *Scratch) error {
+	var gsc *cache.GatherScratch
+	if sc != nil {
+		gsc = sc.gather
+	}
+	return s.Cache.GatherWith(dst, keys, out, gsc)
+}

@@ -113,6 +113,9 @@ type Extractor struct {
 	Pl *solver.Placement
 	// EntryBytes overrides the placement's entry size when non-zero.
 	EntryBytes int
+	// plan caches the batch-invariant planning constants (paths, core
+	// dedications, labels); see planCache.
+	plan *planCache
 }
 
 // New creates an extractor.
@@ -123,7 +126,7 @@ func New(p *platform.Platform, pl *solver.Placement) (*Extractor, error) {
 	if pl.NumGPUs != p.N {
 		return nil, fmt.Errorf("extract: placement for %d GPUs on %d-GPU platform", pl.NumGPUs, p.N)
 	}
-	return &Extractor{P: p, Pl: pl}, nil
+	return &Extractor{P: p, Pl: pl, plan: newPlanCache(p)}, nil
 }
 
 func (e *Extractor) entryBytes() float64 {
@@ -133,78 +136,77 @@ func (e *Extractor) entryBytes() float64 {
 	return float64(e.Pl.EntryBytes)
 }
 
-// srcBytes groups a batch by source location: bytes[g][j] = bytes GPU g
-// pulls from source j under the placement's access arrangement.
-func (e *Extractor) srcBytes(b *Batch) ([][]float64, error) {
-	if len(b.Keys) != e.P.N {
-		return nil, fmt.Errorf("extract: batch has %d GPUs, platform %d", len(b.Keys), e.P.N)
-	}
-	eb := e.entryBytes()
-	n := e.Pl.NumEntries()
-	out := make([][]float64, e.P.N)
-	for g := range out {
-		out[g] = make([]float64, e.P.NumSources())
-		for _, k := range b.Keys[g] {
-			if k < 0 || k >= n {
-				return nil, fmt.Errorf("extract: key %d outside [0, %d)", k, n)
-			}
-			out[g][e.Pl.SourceOf(g, k)] += eb
-		}
-	}
-	return out, nil
+// Run simulates one extraction with the given mechanism. Every slice in the
+// Result is freshly allocated and owned by the caller.
+func (e *Extractor) Run(m Mechanism, b *Batch) (*Result, error) {
+	return e.RunWith(m, b, nil)
 }
 
-// Run simulates one extraction with the given mechanism.
-func (e *Extractor) Run(m Mechanism, b *Batch) (*Result, error) {
-	vol, err := e.srcBytes(b)
+// RunWith is Run with an optional scratch. With a non-nil scratch the
+// Factored and FactoredStatic mechanisms reuse its buffers — the returned
+// Result (SrcBytes, PerGPU, LinkBytes) then aliases the scratch and is valid
+// only until the scratch's next use. PeerRandom and MessageBased accept a
+// scratch for the grouping step but still allocate their stage plans (they
+// are comparison baselines, not the serving hot path). With a nil scratch
+// RunWith is identical to Run.
+func (e *Extractor) RunWith(m Mechanism, b *Batch, sc *Scratch) (*Result, error) {
+	vol, err := e.srcBytes(b, sc)
 	if err != nil {
 		return nil, err
 	}
 	switch m {
 	case Factored:
-		return e.runFactored(vol)
+		return e.runFactored(vol, sc)
 	case PeerRandom:
 		return e.runPeerRandom(vol)
 	case MessageBased:
 		return e.runMessageBased(vol, b)
 	case FactoredStatic:
-		return e.runFactoredStatic(vol)
+		return e.runFactoredStatic(vol, sc)
 	default:
 		return nil, fmt.Errorf("extract: unknown mechanism %d", m)
 	}
 }
 
 // runFactored implements §5.3: per-source dedicated core groups with local
-// padding.
-func (e *Extractor) runFactored(vol [][]float64) (*Result, error) {
+// padding. With a scratch, the demand plan, index table and simulator state
+// are all reused across runs.
+func (e *Extractor) runFactored(vol [][]float64, sc *Scratch) (*Result, error) {
+	ns := e.P.NumSources()
 	var demands []sim.Demand
-	idx := make([][]int, e.P.N) // demand index per (gpu, source)
-	for g := 0; g < e.P.N; g++ {
-		idx[g] = make([]int, e.P.NumSources())
-		for j := range idx[g] {
-			idx[g][j] = -1
+	var idx [][]int // demand index per (gpu, source)
+	var simSc *sim.RunScratch
+	if sc != nil {
+		demands = sc.demands[:0]
+		idx = sc.idxMatrix(e.P.N, ns)
+		simSc = &sc.sim
+	} else {
+		idx = make([][]int, e.P.N)
+		for g := range idx {
+			idx[g] = make([]int, ns)
+			for j := range idx[g] {
+				idx[g][j] = -1
+			}
 		}
 	}
+	pc := e.plan
 	// Local demands first so non-local groups can pad into them.
 	for g := 0; g < e.P.N; g++ {
-		path, _ := e.P.Path(g, platform.SourceID(g))
 		idx[g][g] = len(demands)
 		demands = append(demands, sim.Demand{
-			Label: fmt.Sprintf("g%d<-local", g),
+			Label: pc.localLabels[g],
 			Bytes: vol[g][g], Cores: 0, RCore: e.P.GPU.RCoreLocal,
-			Path: path, PadTo: -1,
+			Path: pc.paths[g][g], PadTo: -1,
 		})
 	}
 	for g := 0; g < e.P.N; g++ {
-		ded := e.P.FEMDedication(g)
-		for j := 0; j < e.P.NumSources(); j++ {
+		ded := pc.ded[g]
+		for j := 0; j < ns; j++ {
 			if j == g {
 				continue
 			}
-			src := platform.SourceID(j)
 			if vol[g][j] > 0 {
-				path, ok := e.P.Path(g, src)
-				if !ok {
+				if !pc.pathOK[g][j] {
 					return nil, fmt.Errorf("extract: gpu %d routed to unreachable source %d", g, j)
 				}
 				if ded[j] <= 0 {
@@ -212,9 +214,9 @@ func (e *Extractor) runFactored(vol [][]float64) (*Result, error) {
 				}
 				idx[g][j] = len(demands)
 				demands = append(demands, sim.Demand{
-					Label: fmt.Sprintf("g%d<-%d", g, j),
-					Bytes: vol[g][j], Cores: ded[j], RCore: e.P.RCore(g, src),
-					Path: path, PadTo: idx[g][g],
+					Label: pc.labels[g][j],
+					Bytes: vol[g][j], Cores: ded[j], RCore: pc.rcore[g][j],
+					Path: pc.paths[g][j], PadTo: idx[g][g],
 				})
 			} else if ded[j] > 0 {
 				// An empty group's cores join local extraction immediately.
@@ -226,7 +228,7 @@ func (e *Extractor) runFactored(vol [][]float64) (*Result, error) {
 		// a token core if nothing pads into it and it has bytes.
 		if vol[g][g] > 0 {
 			hasPadder := false
-			for j := 0; j < e.P.NumSources(); j++ {
+			for j := 0; j < ns; j++ {
 				if j != g && idx[g][j] >= 0 {
 					hasPadder = true
 				}
@@ -236,18 +238,25 @@ func (e *Extractor) runFactored(vol [][]float64) (*Result, error) {
 			}
 		}
 	}
-	res, err := e.P.Topo.Run(demands)
+	if sc != nil {
+		sc.demands = demands // keep grown capacity for the next run
+	}
+	res, err := e.P.Topo.RunWith(demands, simSc)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
 		Time:      res.Makespan,
-		PerGPU:    make([]float64, e.P.N),
 		LinkBytes: res.LinkBytes,
 		SrcBytes:  vol,
 	}
+	if sc != nil {
+		out.PerGPU = sc.perGPUSlice(e.P.N)
+	} else {
+		out.PerGPU = make([]float64, e.P.N)
+	}
 	for g := 0; g < e.P.N; g++ {
-		for j := 0; j < e.P.NumSources(); j++ {
+		for j := 0; j < ns; j++ {
 			if di := idx[g][j]; di >= 0 && res.Finish[di] > out.PerGPU[g] {
 				out.PerGPU[g] = res.Finish[di]
 			}
@@ -448,23 +457,35 @@ func (e *Extractor) runMessageBased(vol [][]float64, b *Batch) (*Result, error) 
 
 // runFactoredStatic is the padding ablation: per-source groups sized
 // proportionally to their byte volume (at least one core), no handoff.
-func (e *Extractor) runFactoredStatic(vol [][]float64) (*Result, error) {
+func (e *Extractor) runFactoredStatic(vol [][]float64, sc *Scratch) (*Result, error) {
+	ns := e.P.NumSources()
 	var demands []sim.Demand
 	var owner [][]int
+	var simSc *sim.RunScratch
+	if sc != nil {
+		demands = sc.demands[:0]
+		owner = sc.idxMatrix(e.P.N, ns)
+		simSc = &sc.sim
+	} else {
+		owner = make([][]int, e.P.N)
+		for g := range owner {
+			owner[g] = make([]int, ns)
+			for j := range owner[g] {
+				owner[g][j] = -1
+			}
+		}
+	}
+	pc := e.plan
 	for g := 0; g < e.P.N; g++ {
-		owner = append(owner, make([]int, e.P.NumSources()))
 		total := 0.0
 		for _, v := range vol[g] {
 			total += v
 		}
-		for j := 0; j < e.P.NumSources(); j++ {
-			owner[g][j] = -1
+		for j := 0; j < ns; j++ {
 			if vol[g][j] == 0 {
 				continue
 			}
-			src := platform.SourceID(j)
-			path, ok := e.P.Path(g, src)
-			if !ok {
+			if !pc.pathOK[g][j] {
 				return nil, fmt.Errorf("extract: gpu %d routed to unreachable source %d", g, j)
 			}
 			cores := float64(e.P.GPU.SMs) * vol[g][j] / total
@@ -473,24 +494,31 @@ func (e *Extractor) runFactoredStatic(vol [][]float64) (*Result, error) {
 			}
 			owner[g][j] = len(demands)
 			demands = append(demands, sim.Demand{
-				Label: fmt.Sprintf("g%d<-%d-static", g, j),
-				Bytes: vol[g][j], Cores: cores, RCore: e.P.RCore(g, src),
-				Path: path, PadTo: -1,
+				Label: pc.staticLabels[g][j],
+				Bytes: vol[g][j], Cores: cores, RCore: pc.rcore[g][j],
+				Path: pc.paths[g][j], PadTo: -1,
 			})
 		}
 	}
-	res, err := e.P.Topo.Run(demands)
+	if sc != nil {
+		sc.demands = demands
+	}
+	res, err := e.P.Topo.RunWith(demands, simSc)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
 		Time:      res.Makespan,
-		PerGPU:    make([]float64, e.P.N),
 		LinkBytes: res.LinkBytes,
 		SrcBytes:  vol,
 	}
+	if sc != nil {
+		out.PerGPU = sc.perGPUSlice(e.P.N)
+	} else {
+		out.PerGPU = make([]float64, e.P.N)
+	}
 	for g := 0; g < e.P.N; g++ {
-		for j := 0; j < e.P.NumSources(); j++ {
+		for j := 0; j < ns; j++ {
 			if di := owner[g][j]; di >= 0 && res.Finish[di] > out.PerGPU[g] {
 				out.PerGPU[g] = res.Finish[di]
 			}

@@ -1,0 +1,221 @@
+package extract
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ugache/internal/platform"
+	"ugache/internal/sim"
+)
+
+// planCache holds the batch-invariant planning constants of one
+// (platform, placement) pair: routed paths, per-source core dedications,
+// issue rates, and demand labels. Extraction runs once per training or
+// inference iteration, so re-deriving these per run (Path and FEMDedication
+// allocate; labels went through fmt.Sprintf) put avoidable allocation and
+// CPU time on the §3.2 critical path. New computes the cache once.
+type planCache struct {
+	paths        [][][]sim.LinkID // paths[g][j]: route GPU g -> source j
+	pathOK       [][]bool
+	rcore        [][]float64 // rcore[g][j]: per-core issue rate on that route
+	ded          [][]float64 // ded[g]: §5.3 core dedication for GPU g
+	labels       [][]string  // "g<g><-<j>"
+	localLabels  []string    // "g<g><-local"
+	staticLabels [][]string  // "g<g><-<j>-static"
+}
+
+func newPlanCache(p *platform.Platform) *planCache {
+	ns := p.NumSources()
+	pc := &planCache{
+		paths:        make([][][]sim.LinkID, p.N),
+		pathOK:       make([][]bool, p.N),
+		rcore:        make([][]float64, p.N),
+		ded:          make([][]float64, p.N),
+		labels:       make([][]string, p.N),
+		localLabels:  make([]string, p.N),
+		staticLabels: make([][]string, p.N),
+	}
+	for g := 0; g < p.N; g++ {
+		pc.paths[g] = make([][]sim.LinkID, ns)
+		pc.pathOK[g] = make([]bool, ns)
+		pc.rcore[g] = make([]float64, ns)
+		pc.ded[g] = p.FEMDedication(g)
+		pc.labels[g] = make([]string, ns)
+		pc.staticLabels[g] = make([]string, ns)
+		pc.localLabels[g] = fmt.Sprintf("g%d<-local", g)
+		for j := 0; j < ns; j++ {
+			src := platform.SourceID(j)
+			pc.paths[g][j], pc.pathOK[g][j] = p.Path(g, src)
+			pc.rcore[g][j] = p.RCore(g, src)
+			pc.labels[g][j] = fmt.Sprintf("g%d<-%d", g, j)
+			pc.staticLabels[g][j] = fmt.Sprintf("g%d<-%d-static", g, j)
+		}
+	}
+	return pc
+}
+
+// Scratch holds the reusable buffers of one extraction run — the per-GPU
+// source-volume matrix, the demand plan, the demand-index table, and the
+// fluid simulator's working state. Passing a Scratch to RunWith makes the
+// steady-state Factored/FactoredStatic extraction path allocation-free.
+//
+// A Scratch is owned by one goroutine at a time. The Result returned by a
+// scratch-backed run aliases the scratch (SrcBytes, PerGPU, LinkBytes) and
+// is valid only until the scratch's next use; copy anything that must
+// outlive it.
+type Scratch struct {
+	volBack []float64
+	vol     [][]float64
+	demands []sim.Demand
+	idxBack []int
+	idx     [][]int
+	perGPU  []float64
+	errs    []error
+	sim     sim.RunScratch
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// volMatrix returns a zeroed n-by-ns matrix backed by the scratch.
+func (sc *Scratch) volMatrix(n, ns int) [][]float64 {
+	if cap(sc.volBack) < n*ns {
+		sc.volBack = make([]float64, n*ns)
+		sc.vol = make([][]float64, n)
+	}
+	back := sc.volBack[:n*ns]
+	for i := range back {
+		back[i] = 0
+	}
+	vol := sc.vol[:n]
+	for g := range vol {
+		vol[g] = back[g*ns : (g+1)*ns : (g+1)*ns]
+	}
+	return vol
+}
+
+// idxMatrix returns an n-by-ns matrix filled with -1, backed by the scratch.
+func (sc *Scratch) idxMatrix(n, ns int) [][]int {
+	if cap(sc.idxBack) < n*ns {
+		sc.idxBack = make([]int, n*ns)
+		sc.idx = make([][]int, n)
+	}
+	back := sc.idxBack[:n*ns]
+	for i := range back {
+		back[i] = -1
+	}
+	idx := sc.idx[:n]
+	for g := range idx {
+		idx[g] = back[g*ns : (g+1)*ns : (g+1)*ns]
+	}
+	return idx
+}
+
+// perGPUSlice returns a zeroed length-n slice backed by the scratch.
+func (sc *Scratch) perGPUSlice(n int) []float64 {
+	if cap(sc.perGPU) < n {
+		sc.perGPU = make([]float64, n)
+	}
+	out := sc.perGPU[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// groupParallelThreshold is the minimum total key count at which srcBytes
+// fans the per-GPU grouping loops out across a worker pool; below it the
+// goroutine handoff costs more than the scan. Tests override it to force
+// either path.
+var groupParallelThreshold = 1 << 12
+
+// groupGPU accumulates GPU g's per-source byte volume for one key slice —
+// the grouping step of the factored extraction (§5.1).
+func (e *Extractor) groupGPU(g int, keys []int64, row []float64, eb float64, n int64) error {
+	pl := e.Pl
+	for _, k := range keys {
+		if k < 0 || k >= n {
+			return fmt.Errorf("extract: key %d outside [0, %d)", k, n)
+		}
+		row[pl.SourceOf(g, k)] += eb
+	}
+	return nil
+}
+
+// srcBytes groups a batch by source location: bytes[g][j] = bytes GPU g
+// pulls from source j under the placement's access arrangement. Large
+// batches are grouped in parallel, one GPU per worker; each matrix row is
+// written by exactly one worker and rows are merged in GPU order, so the
+// result is bit-identical to the sequential pass.
+func (e *Extractor) srcBytes(b *Batch, sc *Scratch) ([][]float64, error) {
+	if len(b.Keys) != e.P.N {
+		return nil, fmt.Errorf("extract: batch has %d GPUs, platform %d", len(b.Keys), e.P.N)
+	}
+	eb := e.entryBytes()
+	n := e.Pl.NumEntries()
+	ns := e.P.NumSources()
+	var out [][]float64
+	if sc != nil {
+		out = sc.volMatrix(e.P.N, ns)
+	} else {
+		out = make([][]float64, e.P.N)
+		for g := range out {
+			out[g] = make([]float64, ns)
+		}
+	}
+	total, nonEmpty := 0, 0
+	for _, keys := range b.Keys {
+		total += len(keys)
+		if len(keys) > 0 {
+			nonEmpty++
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nonEmpty {
+		workers = nonEmpty
+	}
+	if total < groupParallelThreshold || workers < 2 {
+		for g := range out {
+			if err := e.groupGPU(g, b.Keys[g], out[g], eb, n); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var errs []error
+	if sc != nil {
+		if cap(sc.errs) < e.P.N {
+			sc.errs = make([]error, e.P.N)
+		}
+		errs = sc.errs[:e.P.N]
+		for i := range errs {
+			errs[i] = nil
+		}
+	} else {
+		errs = make([]error, e.P.N)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= e.P.N {
+					return
+				}
+				errs[g] = e.groupGPU(g, b.Keys[g], out[g], eb, n)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package extract
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"ugache/internal/platform"
+	"ugache/internal/solver"
+)
+
+// resultBytes serializes a Result for byte-identical comparison.
+func resultBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelGroupingGolden is the determinism contract of the parallel
+// per-GPU planning pool: forcing the parallel path must produce a Result
+// byte-identical to the forced-sequential path, for every mechanism.
+func TestParallelGroupingGolden(t *testing.T) {
+	p := platform.ServerC()
+	pl, _ := buildPlacement(t, p, 20000, 0.08, solver.UGache{})
+	ex, err := New(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := genBatch(t, 20000, 6000, p.N, 5)
+	old := groupParallelThreshold
+	defer func() { groupParallelThreshold = old }()
+	for _, m := range []Mechanism{Factored, FactoredStatic, PeerRandom, MessageBased} {
+		groupParallelThreshold = math.MaxInt // force sequential
+		seq, err := ex.Run(m, b)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", m, err)
+		}
+		groupParallelThreshold = 0 // force parallel
+		par, err := ex.Run(m, b)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", m, err)
+		}
+		if s, pr := resultBytes(t, seq), resultBytes(t, par); string(s) != string(pr) {
+			t.Fatalf("%s: parallel grouping result differs from sequential\nseq: %.200s\npar: %.200s", m, s, pr)
+		}
+	}
+}
+
+// TestParallelGroupingKeyError checks the parallel path reports
+// out-of-range keys deterministically (first failing GPU in index order).
+func TestParallelGroupingKeyError(t *testing.T) {
+	p := platform.ServerC()
+	pl, _ := buildPlacement(t, p, 20000, 0.08, solver.UGache{})
+	ex, err := New(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := genBatch(t, 20000, 2000, p.N, 6)
+	b.Keys[3] = append(b.Keys[3], 99999999) // out of range
+	b.Keys[5] = append(b.Keys[5], -4)       // also bad, higher GPU index
+	old := groupParallelThreshold
+	defer func() { groupParallelThreshold = old }()
+	groupParallelThreshold = math.MaxInt
+	_, seqErr := ex.Run(Factored, b)
+	groupParallelThreshold = 0
+	for i := 0; i < 10; i++ { // schedule-independence: same error every run
+		_, parErr := ex.Run(Factored, b)
+		if parErr == nil || seqErr == nil || parErr.Error() != seqErr.Error() {
+			t.Fatalf("parallel error %v != sequential error %v", parErr, seqErr)
+		}
+	}
+}
+
+// TestRunWithScratchMatchesRun re-runs mixed batches through one shared
+// Scratch and checks every Result matches the allocating path, proving no
+// state leaks between scratch reuses (including across batch sizes).
+func TestRunWithScratchMatchesRun(t *testing.T) {
+	p := platform.ServerC()
+	pl, _ := buildPlacement(t, p, 20000, 0.08, solver.UGache{})
+	ex, err := New(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScratch()
+	for i, m := range []Mechanism{Factored, FactoredStatic, Factored, Factored} {
+		b := genBatch(t, 20000, 1000*(i+1), p.N, uint64(10+i))
+		if i == 2 { // single-GPU batch, the serving engine's shape
+			for g := 1; g < p.N; g++ {
+				b.Keys[g] = nil
+			}
+		}
+		want, err := ex.Run(m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ex.RunWith(m, b, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, g := resultBytes(t, want), resultBytes(t, got); string(w) != string(g) {
+			t.Fatalf("run %d (%s): scratch result differs\nwant: %.200s\ngot:  %.200s", i, m, w, g)
+		}
+	}
+}

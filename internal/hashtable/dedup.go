@@ -1,0 +1,117 @@
+package hashtable
+
+// Dedup is a reusable open-addressing key -> dense-index map for batch
+// deduplication on the serving hot path. It replaces the throwaway
+// map[int64]int the coalescer used per flush: the same linear-probe scheme
+// as Table, but with generation-stamped slots so Reset is O(1) — no
+// clearing, no reallocation, no garbage in steady state.
+//
+// Unlike Table, Dedup accepts any int64 key (negative keys included):
+// occupancy is tracked by the generation stamp, not a key sentinel, so the
+// full key space is valid. Key validation belongs to the layers below
+// (extract rejects out-of-range keys for the whole batch).
+//
+// A Dedup is not safe for concurrent use; it is meant to be owned by one
+// worker goroutine or recycled through a sync.Pool.
+type Dedup struct {
+	keys []int64
+	idx  []int32
+	gen  []uint32
+	cur  uint32
+	mask uint64
+	n    int
+}
+
+// NewDedup creates a dedup table with room for capacity keys at a load
+// factor of at most 0.75.
+func NewDedup(capacity int) *Dedup {
+	d := &Dedup{}
+	d.resize(slotsFor(capacity))
+	return d
+}
+
+func (d *Dedup) resize(slots int) {
+	d.keys = make([]int64, slots)
+	d.idx = make([]int32, slots)
+	d.gen = make([]uint32, slots)
+	d.mask = uint64(slots - 1)
+	d.cur = 1
+	d.n = 0
+}
+
+// Reset forgets all keys and ensures room for capacity more. In steady
+// state (capacity fits) this is a single generation bump.
+func (d *Dedup) Reset(capacity int) {
+	if want := slotsFor(capacity); want > len(d.keys) {
+		d.resize(want)
+		return
+	}
+	d.cur++
+	if d.cur == 0 { // generation counter wrapped: stamps are stale, clear them
+		for i := range d.gen {
+			d.gen[i] = 0
+		}
+		d.cur = 1
+	}
+	d.n = 0
+}
+
+// Len returns the number of distinct keys added since the last Reset.
+func (d *Dedup) Len() int { return d.n }
+
+// Add returns the dense index assigned to key — indices run 0, 1, 2, ... in
+// first-seen order — and whether this call was the first occurrence.
+func (d *Dedup) Add(key int64) (idx int, fresh bool) {
+	if d.n*4 >= len(d.keys)*3 {
+		d.grow()
+	}
+	i := hash(key) & d.mask
+	for {
+		if d.gen[i] != d.cur {
+			d.keys[i] = key
+			d.idx[i] = int32(d.n)
+			d.gen[i] = d.cur
+			d.n++
+			return d.n - 1, true
+		}
+		if d.keys[i] == key {
+			return int(d.idx[i]), false
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// Index returns the dense index of a key added since the last Reset.
+func (d *Dedup) Index(key int64) (int, bool) {
+	i := hash(key) & d.mask
+	for {
+		if d.gen[i] != d.cur {
+			return 0, false
+		}
+		if d.keys[i] == key {
+			return int(d.idx[i]), true
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// grow doubles the slot array, re-inserting the live generation's entries
+// with their existing dense indices.
+func (d *Dedup) grow() {
+	oldKeys, oldIdx, oldGen, oldCur := d.keys, d.idx, d.gen, d.cur
+	n := d.n
+	d.resize(len(oldKeys) * 2)
+	for i, g := range oldGen {
+		if g != oldCur {
+			continue
+		}
+		j := hash(oldKeys[i]) & d.mask
+		for d.gen[j] == d.cur {
+			j = (j + 1) & d.mask
+		}
+		d.keys[j] = oldKeys[i]
+		d.idx[j] = oldIdx[i]
+		d.gen[j] = d.cur
+	}
+	d.n = n
+}

@@ -1,0 +1,251 @@
+package hashtable
+
+import (
+	"math"
+	"testing"
+
+	"ugache/internal/rng"
+)
+
+func TestSlotsForNoOverflow(t *testing.T) {
+	// Regression: capacity*4/3 computed in int wraps negative for huge
+	// capacities; sizing must stay positive and monotone instead.
+	cases := []int{1, 6, 1 << 20, math.MaxInt64 / 4, math.MaxInt64/4 + 1, math.MaxInt64}
+	prev := 0
+	for _, c := range cases {
+		n := slotsFor(c)
+		if n <= 0 {
+			t.Fatalf("slotsFor(%d) = %d, want positive", c, n)
+		}
+		if n&(n-1) != 0 {
+			t.Fatalf("slotsFor(%d) = %d, not a power of two", c, n)
+		}
+		if n < prev {
+			t.Fatalf("slotsFor not monotone: slotsFor(%d)=%d < %d", c, n, prev)
+		}
+		prev = n
+	}
+	// Normal range still honours the 0.75 load factor.
+	if n := slotsFor(6); n < 8 {
+		t.Fatalf("slotsFor(6) = %d, want >= 8", n)
+	}
+	if n := slotsFor(1000); float64(1000)/float64(n) > 0.75 {
+		t.Fatalf("slotsFor(1000) = %d exceeds load factor 0.75", n)
+	}
+}
+
+func TestBulkLookupTombstonesAndDuplicates(t *testing.T) {
+	ht := New(16)
+	for k := int64(0); k < 12; k++ {
+		if err := ht.Insert(k, Location{Offset: k * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Punch tombstones into several probe chains.
+	for _, k := range []int64{2, 5, 9} {
+		if !ht.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	// Duplicates in the key slice, deleted keys, a negative key, and a
+	// never-inserted key, interleaved.
+	keys := []int64{3, 3, 2, 11, -7, 100, 5, 3, 9, 0}
+	locs := make([]Location, len(keys))
+	found := make([]bool, len(keys))
+	n := ht.BulkLookup(keys, locs, found)
+	want := map[int64]bool{3: true, 11: true, 0: true}
+	wantN := 0
+	for i, k := range keys {
+		if want[k] != found[i] {
+			t.Fatalf("key %d at %d: found=%v want %v", k, i, found[i], want[k])
+		}
+		if found[i] {
+			wantN++
+			if locs[i].Offset != k*10 {
+				t.Fatalf("key %d: offset %d want %d", k, locs[i].Offset, k*10)
+			}
+		} else if locs[i] != (Location{}) {
+			t.Fatalf("key %d: miss left non-zero location %+v", k, locs[i])
+		}
+	}
+	if n != wantN {
+		t.Fatalf("BulkLookup returned %d, want %d", n, wantN)
+	}
+	// Every occurrence of a duplicate key resolves identically.
+	if locs[0] != locs[1] || locs[0] != locs[7] {
+		t.Fatalf("duplicate key resolved differently: %+v %+v %+v", locs[0], locs[1], locs[7])
+	}
+}
+
+func TestBulkLookupAgainstLookup(t *testing.T) {
+	// Property: BulkLookup agrees with per-key Lookup under random churn.
+	r := rng.New(4)
+	ht := New(64)
+	live := map[int64]int64{}
+	for op := 0; op < 5000; op++ {
+		k := int64(r.Intn(500))
+		if r.Float64() < 0.6 {
+			off := int64(op)
+			_ = ht.Insert(k, Location{Offset: off})
+			live[k] = off
+		} else {
+			ht.Delete(k)
+			delete(live, k)
+		}
+	}
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(r.Intn(600)) - 20
+	}
+	locs := make([]Location, len(keys))
+	found := make([]bool, len(keys))
+	ht.BulkLookup(keys, locs, found)
+	for i, k := range keys {
+		loc, ok := ht.Lookup(k)
+		if ok != found[i] || loc != locs[i] {
+			t.Fatalf("key %d: bulk (%v,%+v) vs lookup (%v,%+v)", k, found[i], locs[i], ok, loc)
+		}
+	}
+}
+
+func TestBulkLookupLengthMismatchPanics(t *testing.T) {
+	ht := New(8)
+	for _, tc := range []struct {
+		name  string
+		locs  int
+		found int
+	}{{"short-locs", 1, 2}, {"short-found", 2, 1}, {"both-long", 3, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: BulkLookup did not panic", tc.name)
+				}
+			}()
+			ht.BulkLookup(make([]int64, 2), make([]Location, tc.locs), make([]bool, tc.found))
+		}()
+	}
+}
+
+func TestDedupAssignsDenseIndices(t *testing.T) {
+	d := NewDedup(8)
+	keys := []int64{5, -3, 5, 9, -3, 0, 5}
+	wantIdx := []int{0, 1, 0, 2, 1, 3, 0}
+	wantFresh := []bool{true, true, false, true, false, true, false}
+	for i, k := range keys {
+		idx, fresh := d.Add(k)
+		if idx != wantIdx[i] || fresh != wantFresh[i] {
+			t.Fatalf("Add(%d) #%d = (%d,%v), want (%d,%v)", k, i, idx, fresh, wantIdx[i], wantFresh[i])
+		}
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	if idx, ok := d.Index(9); !ok || idx != 2 {
+		t.Fatalf("Index(9) = (%d,%v)", idx, ok)
+	}
+	if _, ok := d.Index(42); ok {
+		t.Fatal("Index(42) found a never-added key")
+	}
+}
+
+func TestDedupResetIsCheapAndComplete(t *testing.T) {
+	d := NewDedup(4)
+	for k := int64(0); k < 100; k++ { // forces growth
+		d.Add(k * 7)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	slots := len(d.keys)
+	d.Reset(64)
+	if len(d.keys) != slots {
+		t.Fatalf("Reset(64) resized %d -> %d slots", slots, len(d.keys))
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", d.Len())
+	}
+	if _, ok := d.Index(7); ok {
+		t.Fatal("key survived Reset")
+	}
+	// Old keys re-added after Reset get fresh dense indices.
+	if idx, fresh := d.Add(7 * 13); !fresh || idx != 0 {
+		t.Fatalf("Add after Reset = (%d,%v)", idx, fresh)
+	}
+}
+
+func TestDedupGenerationWraparound(t *testing.T) {
+	d := NewDedup(8)
+	d.Add(1)
+	d.cur = ^uint32(0) // next Reset wraps the generation counter
+	d.Reset(8)
+	if d.cur == 0 {
+		t.Fatal("generation left at 0")
+	}
+	if _, ok := d.Index(1); ok {
+		t.Fatal("stale key visible after wraparound")
+	}
+	if idx, fresh := d.Add(2); !fresh || idx != 0 {
+		t.Fatalf("Add after wraparound = (%d,%v)", idx, fresh)
+	}
+}
+
+func TestDedupAgainstMapModel(t *testing.T) {
+	r := rng.New(11)
+	d := NewDedup(2)
+	for round := 0; round < 20; round++ {
+		model := map[int64]int{}
+		n := r.Intn(2000)
+		for i := 0; i < n; i++ {
+			k := int64(r.Intn(300)) - 50
+			wantIdx, seen := model[k]
+			if !seen {
+				wantIdx = len(model)
+				model[k] = wantIdx
+			}
+			idx, fresh := d.Add(k)
+			if idx != wantIdx || fresh == seen {
+				t.Fatalf("round %d: Add(%d) = (%d,%v), want (%d,%v)", round, k, idx, fresh, wantIdx, !seen)
+			}
+		}
+		if d.Len() != len(model) {
+			t.Fatalf("round %d: Len %d vs model %d", round, d.Len(), len(model))
+		}
+		d.Reset(r.Intn(100) + 1)
+	}
+}
+
+func BenchmarkBulkLookup(b *testing.B) {
+	ht := New(1 << 16)
+	r := rng.New(5)
+	for i := 0; i < 1<<15; i++ {
+		_ = ht.Insert(int64(r.Intn(1<<20)), Location{Offset: int64(i)})
+	}
+	keys := make([]int64, 4096)
+	for i := range keys {
+		keys[i] = int64(r.Intn(1 << 20))
+	}
+	locs := make([]Location, len(keys))
+	found := make([]bool, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.BulkLookup(keys, locs, found)
+	}
+}
+
+func BenchmarkDedupAdd(b *testing.B) {
+	r := rng.New(6)
+	keys := make([]int64, 4096)
+	for i := range keys {
+		keys[i] = int64(r.Intn(1 << 12))
+	}
+	d := NewDedup(len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Reset(len(keys))
+		for _, k := range keys {
+			d.Add(k)
+		}
+	}
+}

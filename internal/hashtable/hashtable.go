@@ -35,16 +35,31 @@ type Table struct {
 	dirty int // live + tombstones
 }
 
-// New creates a table that can hold at least capacity entries at a load
-// factor of at most 0.75.
-func New(capacity int) *Table {
+// slotsFor returns the power-of-two slot count for a table holding capacity
+// entries at a load factor of at most 0.75. The arithmetic is carried out in
+// uint64 so huge capacities cannot overflow int (capacity*4 wraps negative
+// for capacity > MaxInt64/4); the result is clamped to the largest
+// addressable power of two.
+func slotsFor(capacity int) int {
 	if capacity < 1 {
 		capacity = 1
 	}
-	n := 1 << bits.Len64(uint64(capacity*4/3))
+	need := uint64(capacity) + (uint64(capacity)+2)/3 // ceil(capacity * 4/3), overflow-free
+	shift := bits.Len64(need)
+	if shift > 62 {
+		shift = 62 // 1<<63 would wrap negative in int
+	}
+	n := 1 << shift
 	if n < 8 {
 		n = 8
 	}
+	return n
+}
+
+// New creates a table that can hold at least capacity entries at a load
+// factor of at most 0.75.
+func New(capacity int) *Table {
+	n := slotsFor(capacity)
 	t := &Table{
 		keys: make([]int64, n),
 		locs: make([]Location, n),
@@ -193,15 +208,43 @@ func (t *Table) grow() {
 }
 
 // BulkLookup resolves many keys at once, writing found[i] and locs[i] per
-// key; it returns the number found. Slices must be of equal length.
+// key; it returns the number found. Duplicate keys are resolved
+// independently (each occurrence gets the same answer), and negative keys
+// are simply not found, mirroring Lookup. The three slices must have equal
+// length: a mismatch panics rather than silently truncating, because a
+// short locs/found slice on the hot path means a caller-side sizing bug.
+//
+// This is the batched probe loop of the extract function's locate() step
+// (§3.2): the table arrays and mask are hoisted out of the per-key loop so
+// the probe runs over locals instead of re-loading the table header per key.
 func (t *Table) BulkLookup(keys []int64, locs []Location, found []bool) int {
+	if len(locs) != len(keys) || len(found) != len(keys) {
+		panic(fmt.Sprintf("hashtable: BulkLookup slice lengths differ: %d keys, %d locs, %d found",
+			len(keys), len(locs), len(found)))
+	}
+	tkeys, tlocs, mask := t.keys, t.locs, t.mask
 	n := 0
 	for i, k := range keys {
-		loc, ok := t.Lookup(k)
-		locs[i] = loc
-		found[i] = ok
-		if ok {
-			n++
+		if k < 0 {
+			locs[i] = Location{}
+			found[i] = false
+			continue
+		}
+		j := hash(k) & mask
+		for {
+			switch tkeys[j] {
+			case k:
+				locs[i] = tlocs[j]
+				found[i] = true
+				n++
+			case emptySlot:
+				locs[i] = Location{}
+				found[i] = false
+			default:
+				j = (j + 1) & mask
+				continue
+			}
+			break
 		}
 	}
 	return n

@@ -1,0 +1,51 @@
+// Package prof wires the conventional -cpuprofile / -memprofile flags into
+// the repository's command-line tools, so the hot-path work of the serving
+// and benchmark binaries can be inspected with `go tool pprof` without
+// rebuilding them as tests.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two flag values (either may be
+// empty). It returns a stop function that must run before the process
+// exits: it stops the CPU profile and writes the heap profile. Callers that
+// exit through os.Exit must call stop explicitly first — a deferred call
+// never runs.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -21,6 +21,7 @@ import (
 
 	"ugache/internal/core"
 	"ugache/internal/extract"
+	"ugache/internal/hashtable"
 )
 
 // Config tunes the coalescer.
@@ -52,6 +53,14 @@ func (c Config) normalize() Config {
 type Result struct {
 	// Rows holds len(keys) rows of EntryBytes in functional mode; nil in
 	// timing-only mode.
+	//
+	// Ownership: Rows is a caller-owned copy. The server carves one
+	// batch-sized allocation into per-request sub-slices at flush time and
+	// never touches it again, so the caller may retain or mutate Rows
+	// indefinitely. (Requests from the same coalesced batch share that
+	// backing array; mutating past len(Rows) via append is the only way to
+	// observe a neighbour, and slices handed out are full-capacity-clipped
+	// to forbid exactly that.)
 	Rows []byte
 	// SimSeconds is the modelled extraction time of the coalesced batch
 	// this request rode in (shared by every request in the batch).
@@ -171,11 +180,34 @@ func (s *Server) Stats() Stats {
 	return s.stats
 }
 
+// workerScratch is one worker's reusable flush state: the open-addressing
+// dedup table (replacing a throwaway map per flush), the unique-key list,
+// the single-GPU extraction batch, the staging buffer for gathered unique
+// rows, and the core-level extract/gather scratch. All of it lives for the
+// worker's lifetime, so a steady-state flush allocates only the
+// caller-owned Result.Rows block.
+type workerScratch struct {
+	dedup *hashtable.Dedup
+	uniq  []int64
+	batch extract.Batch
+	rows  []byte
+	core  *core.Scratch
+}
+
+func (s *Server) newWorkerScratch() *workerScratch {
+	return &workerScratch{
+		dedup: hashtable.NewDedup(s.cfg.MaxBatchKeys),
+		batch: extract.Batch{Keys: make([][]int64, s.sys.P.N)},
+		core:  core.NewScratch(),
+	}
+}
+
 // worker is GPU g's coalescing loop: wait for one request, then keep
 // accumulating until the batch is full or MaxWait elapsed, then flush.
 func (s *Server) worker(g int) {
 	defer s.wg.Done()
 	q := s.queues[g]
+	sc := s.newWorkerScratch()
 	timer := time.NewTimer(s.cfg.MaxWait)
 	defer timer.Stop()
 	for {
@@ -183,7 +215,7 @@ func (s *Server) worker(g int) {
 		select {
 		case first = <-q:
 		case <-s.done:
-			s.drain(g, q)
+			s.drain(g, q, sc)
 			return
 		}
 		batch := []*request{first}
@@ -207,17 +239,17 @@ func (s *Server) worker(g int) {
 				break fill
 			}
 		}
-		s.flush(g, batch)
+		s.flush(g, batch, sc)
 	}
 }
 
 // drain flushes whatever is still queued at Close time so no Handle caller
 // is left waiting.
-func (s *Server) drain(g int, q chan *request) {
+func (s *Server) drain(g int, q chan *request, sc *workerScratch) {
 	for {
 		select {
 		case r := <-q:
-			s.flush(g, []*request{r})
+			s.flush(g, []*request{r}, sc)
 		default:
 			return
 		}
@@ -225,49 +257,70 @@ func (s *Server) drain(g int, q chan *request) {
 }
 
 // flush coalesces the batch's keys, runs one extraction, and fans the
-// per-request results back out.
-func (s *Server) flush(g int, batch []*request) {
-	// Dedupe across requests, remembering each unique key's row index.
-	index := make(map[int64]int)
-	var uniq []int64
+// per-request results back out. Everything it needs lives in the worker's
+// scratch; the only steady-state allocation is the batch-sized Rows block
+// handed to the callers (see Result.Rows).
+func (s *Server) flush(g int, batch []*request, sc *workerScratch) {
+	// Dedupe across requests with the generation-stamped open-addressing
+	// table, remembering each unique key's row index.
 	requested := 0
 	for _, r := range batch {
 		requested += len(r.keys)
+	}
+	sc.dedup.Reset(requested)
+	uniq := sc.uniq[:0]
+	for _, r := range batch {
 		for _, k := range r.keys {
-			if _, ok := index[k]; !ok {
-				index[k] = len(uniq)
+			if _, fresh := sc.dedup.Add(k); fresh {
 				uniq = append(uniq, k)
 			}
 		}
 	}
+	sc.uniq = uniq
 
-	// One simulated extraction for the whole coalesced batch.
-	eb := &extract.Batch{Keys: make([][]int64, s.sys.P.N)}
-	eb.Keys[g] = uniq
-	res, err := s.sys.ExtractBatch(eb)
+	// One simulated extraction for the whole coalesced batch. The result
+	// aliases sc.core, so pull out the scalar we need before reusing it.
+	sc.batch.Keys[g] = uniq
+	res, err := s.sys.ExtractBatchWith(&sc.batch, sc.core)
+	sc.batch.Keys[g] = nil
 	if err != nil {
 		s.fail(batch, err)
 		return
 	}
+	simTime := res.Time
 
-	// One functional gather for the unique keys, if the system holds bytes.
+	// One functional gather of the unique rows into the staging buffer, if
+	// the system holds bytes.
 	var rows []byte
 	if s.functional {
-		rows = make([]byte, len(uniq)*s.entryBytes)
-		if err := s.sys.Lookup(g, uniq, rows); err != nil {
+		need := len(uniq) * s.entryBytes
+		if cap(sc.rows) < need {
+			sc.rows = make([]byte, need)
+		}
+		rows = sc.rows[:need]
+		if err := s.sys.LookupWith(g, uniq, rows, sc.core); err != nil {
 			s.fail(batch, err)
 			return
 		}
 	}
 
+	// Fan back out: one caller-owned allocation for the whole batch, carved
+	// into full-capacity-clipped per-request sub-slices.
+	var outBuf []byte
+	if rows != nil {
+		outBuf = make([]byte, requested*s.entryBytes)
+	}
+	off := 0
 	for _, r := range batch {
-		out := Result{SimSeconds: res.Time, BatchKeys: len(uniq)}
+		out := Result{SimSeconds: simTime, BatchKeys: len(uniq)}
 		if rows != nil {
-			out.Rows = make([]byte, len(r.keys)*s.entryBytes)
+			end := off + len(r.keys)*s.entryBytes
+			out.Rows = outBuf[off:end:end]
 			for i, k := range r.keys {
-				src := rows[index[k]*s.entryBytes : (index[k]+1)*s.entryBytes]
-				copy(out.Rows[i*s.entryBytes:], src)
+				j, _ := sc.dedup.Index(k)
+				copy(out.Rows[i*s.entryBytes:], rows[j*s.entryBytes:(j+1)*s.entryBytes])
 			}
+			off = end
 		}
 		r.out <- out
 	}
@@ -277,7 +330,7 @@ func (s *Server) flush(g int, batch []*request) {
 	s.stats.Batches++
 	s.stats.RequestedKeys += int64(requested)
 	s.stats.UniqueKeys += int64(len(uniq))
-	s.stats.SimSeconds += res.Time
+	s.stats.SimSeconds += simTime
 	s.mu.Unlock()
 }
 

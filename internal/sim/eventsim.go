@@ -114,7 +114,7 @@ func (t *Topology) RunEvent(demands []Demand, chunkBytes float64) (*Result, erro
 			idx[d] = f
 		}
 		sort.Slice(flows, func(i, j int) bool { return flows[i].idx < flows[j].idx })
-		t.allocate(flows)
+		t.allocate(flows, make([]float64, len(t.Links)), make([]float64, len(t.Links)))
 
 		// Advance to the next chunk completion.
 		dt := math.Inf(1)

@@ -93,6 +93,8 @@ func (t *Topology) RunProportional(demands []PoolDemand, pools []Pool) (*Proport
 		floor   = 1e-6
 	)
 	rates := make([]float64, n)
+	resid := make([]float64, len(t.Links))
+	weight := make([]float64, len(t.Links))
 	for it := 0; it < iters; it++ {
 		// Instantaneous allocation under the current core split.
 		var active []*flow
@@ -103,7 +105,7 @@ func (t *Topology) RunProportional(demands []PoolDemand, pools []Pool) (*Proport
 				active = append(active, f)
 			}
 		}
-		t.allocate(active)
+		t.allocate(active, resid, weight)
 		for i, f := range flows {
 			rates[i] = f.rate
 		}
@@ -150,7 +152,7 @@ func (t *Topology) RunProportional(demands []PoolDemand, pools []Pool) (*Proport
 			active = append(active, f)
 		}
 	}
-	t.allocate(active)
+	t.allocate(active, resid, weight)
 	for i, d := range demands {
 		res.CoreShare[i] = share[i]
 		if d.Bytes == 0 {

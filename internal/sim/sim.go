@@ -102,14 +102,73 @@ type flow struct {
 	frozen bool    // scratch for the allocator
 }
 
+// RunScratch holds the reusable working state of RunWith so steady-state
+// simulation runs stop allocating: the flow table, the active list, the
+// allocator's residual/weight buffers, and the result slices. A RunScratch
+// is owned by one goroutine at a time (workers keep their own, or recycle
+// through a sync.Pool).
+type RunScratch struct {
+	flows  []flow  // value-allocated flow table, one per demand
+	ptrs   []*flow // stable pointers into flows, reused across runs
+	active []*flow // per-phase filtered list
+	resid  []float64
+	weight []float64
+	finish []float64
+	bytes  []float64
+}
+
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // Run simulates the demands to completion and returns per-demand finish
 // times. Demands run concurrently from t=0 (subject to having cores; a
-// demand with zero cores waits for padding).
+// demand with zero cores waits for padding). Every slice in the Result is
+// freshly allocated and owned by the caller.
 func (t *Topology) Run(demands []Demand) (*Result, error) {
-	flows := make([]*flow, len(demands))
-	res := &Result{
-		Finish:    make([]float64, len(demands)),
-		LinkBytes: make([]float64, len(t.Links)),
+	return t.RunWith(demands, nil)
+}
+
+// RunWith is Run with an optional scratch. With a non-nil scratch the
+// returned Result's Finish and LinkBytes slices are scratch-owned: they are
+// valid only until the scratch's next RunWith call, and callers that need
+// them longer must copy. With a nil scratch it is identical to Run.
+func (t *Topology) RunWith(demands []Demand, sc *RunScratch) (*Result, error) {
+	var flows []*flow
+	var resid, weight []float64
+	var activeBuf []*flow
+	res := &Result{}
+	if sc != nil {
+		if cap(sc.flows) < len(demands) {
+			sc.flows = make([]flow, len(demands))
+			sc.ptrs = make([]*flow, len(demands))
+			for i := range sc.flows {
+				sc.ptrs[i] = &sc.flows[i]
+			}
+			sc.active = make([]*flow, 0, len(demands))
+		}
+		sc.flows = sc.flows[:len(demands)]
+		flows = sc.ptrs[:len(demands)]
+		activeBuf = sc.active[:0]
+		sc.resid = growF64(sc.resid, len(t.Links))
+		sc.weight = growF64(sc.weight, len(t.Links))
+		resid, weight = sc.resid, sc.weight
+		res.Finish = growF64(sc.finish, len(demands))
+		res.LinkBytes = growF64(sc.bytes, len(t.Links))
+		sc.finish, sc.bytes = res.Finish, res.LinkBytes
+	} else {
+		flows = make([]*flow, len(demands))
+		resid = make([]float64, len(t.Links))
+		weight = make([]float64, len(t.Links))
+		res.Finish = make([]float64, len(demands))
+		res.LinkBytes = make([]float64, len(t.Links))
 	}
 	for i, d := range demands {
 		if d.Bytes < 0 {
@@ -129,7 +188,10 @@ func (t *Topology) Run(demands []Demand) (*Result, error) {
 		if d.PadTo >= len(demands) {
 			return nil, fmt.Errorf("sim: demand %d (%s) pads into unknown demand %d", i, d.Label, d.PadTo)
 		}
-		flows[i] = &flow{
+		if flows[i] == nil {
+			flows[i] = &flow{}
+		}
+		*flows[i] = flow{
 			idx: i, rem: d.Bytes, cores: d.Cores, rcore: d.RCore,
 			path: d.Path, padTo: d.PadTo,
 		}
@@ -142,11 +204,11 @@ func (t *Topology) Run(demands []Demand) (*Result, error) {
 	// Each phase completes at least one demand, so phases <= len(demands);
 	// the extra headroom guards against float stagnation.
 	for phase := 0; phase <= 2*len(demands)+4; phase++ {
-		active := activeFlows(flows)
+		active := appendActive(activeBuf, flows)
 		if len(active) == 0 {
 			break
 		}
-		t.allocate(active)
+		t.allocate(active, resid, weight)
 
 		// Find the next completion among flows that are actually moving.
 		dt := math.Inf(1)
@@ -199,7 +261,7 @@ func (t *Topology) Run(demands []Demand) (*Result, error) {
 	}
 	for _, f := range flows {
 		if !f.done {
-			return nil, fmt.Errorf("sim: simulation did not converge (%d flows stuck)", len(activeFlows(flows)))
+			return nil, fmt.Errorf("sim: simulation did not converge (%d flows stuck)", len(appendActive(nil, flows)))
 		}
 	}
 	res.Makespan = 0
@@ -211,8 +273,10 @@ func (t *Topology) Run(demands []Demand) (*Result, error) {
 	return res, nil
 }
 
-func activeFlows(flows []*flow) []*flow {
-	var out []*flow
+// appendActive filters the not-yet-done flows into buf (reused across
+// phases when the caller passes a scratch-backed slice).
+func appendActive(buf []*flow, flows []*flow) []*flow {
+	out := buf[:0]
 	for _, f := range flows {
 		if !f.done {
 			out = append(out, f)
@@ -224,9 +288,9 @@ func activeFlows(flows []*flow) []*flow {
 // allocate performs weighted max-min fair allocation across links with
 // per-flow rate caps (cores * rcore). Weight is the flow's core count, so a
 // group with more cores wins a proportionally larger share of a contended
-// link, matching how more SMs win more memory bandwidth.
-func (t *Topology) allocate(active []*flow) {
-	resid := make([]float64, len(t.Links))
+// link, matching how more SMs win more memory bandwidth. resid and weight
+// are caller-provided buffers of len(t.Links); allocate overwrites them.
+func (t *Topology) allocate(active []*flow, resid, weight []float64) {
 	for i, l := range t.Links {
 		resid[i] = l.Capacity
 	}
@@ -244,7 +308,9 @@ func (t *Topology) allocate(active []*flow) {
 	}
 	for unfrozen > 0 {
 		// Per-link total unfrozen weight.
-		weight := make([]float64, len(t.Links))
+		for i := range weight {
+			weight[i] = 0
+		}
 		for _, f := range active {
 			if f.frozen {
 				continue

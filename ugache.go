@@ -172,6 +172,15 @@ type System = core.System
 // New solves the cache policy and fills the caches.
 func New(cfg Config) (*System, error) { return core.Build(cfg) }
 
+// Scratch holds the reusable buffers of the per-iteration hot path. Pass
+// one to System.ExtractBatchWith / System.LookupWith from a single
+// goroutine to make steady-state lookups and extractions allocation-free;
+// see the core package for the aliasing contract.
+type Scratch = core.Scratch
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return core.NewScratch() }
+
 // RefreshConfig tunes the §7.2 background refresh.
 type RefreshConfig = cache.RefreshConfig
 
