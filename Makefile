@@ -1,6 +1,6 @@
 GO ?= go
 
-RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app
+RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry
 
 # Packages with testing.B microbenchmarks on the extraction hot path.
 BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve

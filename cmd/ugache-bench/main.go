@@ -22,6 +22,8 @@ import (
 
 	"ugache/internal/bench"
 	"ugache/internal/prof"
+	"ugache/internal/stats"
+	"ugache/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "trim the configuration matrix")
 		workers    = flag.Int("workers", 0, "pre-warm worker pool size (0 = one per CPU, 1 = sequential)")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		telem      = flag.Bool("telemetry", false, "instrument the experiments' core systems and print a summary table of all collected metrics")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -43,7 +46,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 		os.Exit(1)
 	}
-	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *list)
+	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *list, *telem)
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 		if code == 0 {
@@ -53,7 +56,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(exps string, scale float64, iters int, seed uint64, quick bool, workers int, list bool) int {
+func run(exps string, scale float64, iters int, seed uint64, quick bool, workers int, list, telem bool) int {
 	if list {
 		names := bench.Names()
 		sort.Strings(names)
@@ -68,6 +71,11 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 		names = strings.Split(exps, ",")
 	}
 	opt := bench.Options{Scale: scale, Iters: iters, Seed: seed, Quick: quick, Workers: workers}
+	var reg *telemetry.Registry
+	if telem {
+		reg = telemetry.NewRegistry(8)
+		opt.Telemetry = reg
+	}
 	failed := 0
 	for _, name := range names {
 		name = strings.TrimSpace(name)
@@ -79,6 +87,18 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 			continue
 		}
 		fmt.Printf("### %s (%.1fs)\n\n%s\n", name, time.Since(t0).Seconds(), res.Text)
+	}
+	if reg != nil {
+		samples := reg.Samples()
+		if len(samples) == 0 {
+			fmt.Println("### telemetry\n\n(no instrumented experiment ran; fig17 builds the instrumented core)")
+		} else {
+			t := stats.NewTable("Telemetry: accumulated metrics across the run", "metric", "value")
+			for _, s := range samples {
+				t.AddRow(s.Name, fmt.Sprintf("%g", s.Value))
+			}
+			fmt.Printf("### telemetry\n\n%s\n", t.String())
+		}
 	}
 	if failed > 0 {
 		return 1

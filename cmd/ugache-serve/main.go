@@ -14,7 +14,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
 	"time"
@@ -24,6 +27,7 @@ import (
 	"ugache/internal/prof"
 	"ugache/internal/rng"
 	"ugache/internal/serve"
+	"ugache/internal/telemetry"
 	"ugache/internal/workload"
 )
 
@@ -39,6 +43,8 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 8192, "coalescer flush threshold in pending keys")
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush deadline")
 		seed       = flag.Uint64("seed", 42, "random seed")
+		listen     = flag.String("listen", "", "serve /metrics and /debug/trace on this address (e.g. :9090); keeps the process alive after the run until interrupted")
+		traceDepth = flag.Int("trace-depth", 256, "per-batch trace ring depth (negative disables tracing)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -48,7 +54,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", err)
 		os.Exit(1)
 	}
-	runErr := run(*dataset, *server, *scale, *ratio, *clients, *requests, *batch, *maxBatch, *maxWait, *seed)
+	runErr := run(*dataset, *server, *scale, *ratio, *clients, *requests, *batch, *maxBatch, *maxWait, *seed, *listen, *traceDepth)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -80,7 +86,7 @@ func platformByName(name string) (*platform.Platform, error) {
 }
 
 func run(dataset, server string, scale, ratio float64, clients, requests, batch, maxBatch int,
-	maxWait time.Duration, seed uint64) error {
+	maxWait time.Duration, seed uint64, listen string, traceDepth int) error {
 	spec, err := specByName(dataset)
 	if err != nil {
 		return err
@@ -107,6 +113,9 @@ func run(dataset, server string, scale, ratio float64, clients, requests, batch,
 	if err != nil {
 		return err
 	}
+	// One registry shared across the core (extraction tiers, refresh) and
+	// the serving engine (latency, coalescing); the HTTP handler reads it.
+	reg := telemetry.NewRegistry(p.N)
 	t0 := time.Now()
 	sys, err := core.Build(core.Config{
 		Platform:   p,
@@ -114,6 +123,7 @@ func run(dataset, server string, scale, ratio float64, clients, requests, batch,
 		EntryBytes: ds.MT.MaxEntryBytes(),
 		CacheRatio: ratio,
 		Source:     ds.MT,
+		Telemetry:  reg,
 	})
 	if err != nil {
 		return err
@@ -121,11 +131,31 @@ func run(dataset, server string, scale, ratio float64, clients, requests, batch,
 	fmt.Printf("built %s: cache ratio %g solved and filled in %.2fs\n",
 		p.Name, ratio, time.Since(t0).Seconds())
 
-	srv, err := serve.New(sys, serve.Config{MaxBatchKeys: maxBatch, MaxWait: maxWait})
+	srv, err := serve.New(sys, serve.Config{
+		MaxBatchKeys: maxBatch,
+		MaxWait:      maxWait,
+		Telemetry:    reg,
+		TraceDepth:   traceDepth,
+	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, telemetry.Handler(reg, srv.Trace())); err != nil {
+				// The listener closes on exit; anything else is worth a note.
+				fmt.Fprintf(os.Stderr, "ugache-serve: telemetry server: %v\n", err)
+			}
+		}()
+		fmt.Printf("telemetry:         http://%s/metrics and /debug/trace\n", ln.Addr())
+	}
 
 	// Closed loop: each client issues its next request as soon as the
 	// previous one completes, round-robining destination GPUs.
@@ -189,6 +219,29 @@ func run(dataset, server string, scale, ratio float64, clients, requests, batch,
 		st.Batches, st.MeanBatchKeys(), float64(st.RequestedKeys)/float64(maxI64(st.Batches, 1)))
 	fmt.Printf("simulated extract: %.3f ms/batch mean, %.1f ms total per request stream\n",
 		st.SimSeconds/float64(maxI64(st.Batches, 1))*1e3, simSum/float64(maxI64(int64(clients), 1))*1e3)
+
+	// Per-tier hit split from the shared registry (local / peer / host).
+	tier := func(name string) float64 {
+		for _, s := range reg.Samples() {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	local, remote, host := tier("core_hit_local_keys_total"),
+		tier("core_hit_remote_keys_total"), tier("core_hit_host_keys_total")
+	if sum := local + remote + host; sum > 0 {
+		fmt.Printf("hit tiers:         %.1f%% local, %.1f%% remote, %.1f%% host (of %d unique keys)\n",
+			100*local/sum, 100*remote/sum, 100*host/sum, st.UniqueKeys)
+	}
+
+	if listen != "" {
+		fmt.Printf("\nrun complete; telemetry still live on %s — Ctrl-C to exit\n", listen)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"ugache/internal/graph"
 	"ugache/internal/platform"
+	"ugache/internal/telemetry"
 	"ugache/internal/workload"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	// the pre-warm entirely (fully sequential execution). Output is
 	// byte-identical regardless of the setting.
 	Workers int
+	// Telemetry, when non-nil, is threaded into the core systems an
+	// experiment builds so the caller can render the accumulated samples
+	// after the run. Nil (the default) leaves instrumentation disabled.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) normalize() Options {

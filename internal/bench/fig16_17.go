@@ -177,6 +177,7 @@ func figure17(o Options) (*Result, error) {
 		Hotness:            hot,
 		EntryBytes:         ds.MT.MaxEntryBytes(),
 		CacheEntriesPerGPU: maxI64b(capacity, 1),
+		Telemetry:          o.Telemetry,
 	})
 	if err != nil {
 		return nil, err

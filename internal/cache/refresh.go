@@ -3,19 +3,87 @@ package cache
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"ugache/internal/hashtable"
 	"ugache/internal/solver"
+	"ugache/internal/telemetry"
 	"ugache/internal/workload"
 )
+
+// refreshMetrics is the §7.2 impact timeline surfaced as gauges: the last
+// refresh's phase durations, diff size and mean foreground inflation, plus
+// a live in-progress flag. Updated only on the (slow) refresh path.
+type refreshMetrics struct {
+	total         *telemetry.Counter
+	active        *telemetry.Gauge
+	duration      *telemetry.Gauge
+	solveSeconds  *telemetry.Gauge
+	updateSeconds *telemetry.Gauge
+	meanImpact    *telemetry.Gauge
+	evicted       *telemetry.Gauge
+	inserted      *telemetry.Gauge
+}
+
+// SetTelemetry registers the refresh gauges in reg and publishes every
+// later Refresh's report through them. Call before serving; replaces any
+// earlier registry.
+func (s *System) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.refreshMet.Store(nil)
+		return
+	}
+	s.refreshMet.Store(&refreshMetrics{
+		total:         reg.Counter("cache_refresh_total", "completed placement refreshes"),
+		active:        reg.Gauge("cache_refresh_active", "1 while a refresh is being applied"),
+		duration:      reg.Gauge("cache_refresh_last_duration_seconds", "last refresh trigger-to-completion seconds"),
+		solveSeconds:  reg.Gauge("cache_refresh_last_solve_seconds", "last refresh background-solve seconds"),
+		updateSeconds: reg.Gauge("cache_refresh_last_update_seconds", "last refresh small-batch update seconds"),
+		meanImpact:    reg.Gauge("cache_refresh_last_mean_impact", "last refresh mean foreground iteration-time inflation"),
+		evicted:       reg.Gauge("cache_refresh_last_evicted_entries", "entries evicted by the last refresh"),
+		inserted:      reg.Gauge("cache_refresh_last_inserted_entries", "entries inserted by the last refresh"),
+	})
+}
+
+// publish pushes one refresh report into the gauges.
+func (m *refreshMetrics) publish(rep *RefreshReport) {
+	m.total.Add(0, 1)
+	m.duration.Set(rep.Duration)
+	m.solveSeconds.Set(rep.SolveSeconds)
+	m.updateSeconds.Set(rep.UpdateSeconds)
+	m.meanImpact.Set(rep.MeanImpact)
+	m.evicted.Set(float64(rep.EvictedEntries))
+	m.inserted.Set(float64(rep.InsertedEntries))
+}
 
 // HotnessSampler is the foreground sampling of §7.2: input batches are
 // sampled (every Nth batch) and counted on the CPU so the background
 // Refresher can re-evaluate the policy against fresh hotness.
+//
+// The sampler is sharded per caller so the serving engine's one-worker-per-
+// GPU loop can observe batches without a data race: each worker owns one
+// SamplerShard (Shard(g)) and counts into it lock-free; Hotness and Batches
+// merge the shards on read. The zero-argument Observe forwards to shard 0
+// for single-goroutine callers.
 type HotnessSampler struct {
+	numEntries int64
+	every      int
+
+	mu     sync.Mutex
+	shards []*SamplerShard
+}
+
+// SamplerShard is one caller's private slice of the sampler. A shard
+// belongs to one observing goroutine, so its mutex is uncontended in
+// steady state (one lock per batch, not per key); it exists so a
+// background Hotness merge may run while observation continues.
+type SamplerShard struct {
+	mu      sync.Mutex
 	counts  []float64
+	dedup   *hashtable.Dedup
 	sampled int
-	every   int
 	seen    int
+	every   int
 }
 
 // NewHotnessSampler records every `every`-th batch (min 1).
@@ -23,42 +91,89 @@ func NewHotnessSampler(numEntries int64, every int) *HotnessSampler {
 	if every < 1 {
 		every = 1
 	}
-	return &HotnessSampler{counts: make([]float64, numEntries), every: every}
+	return &HotnessSampler{numEntries: numEntries, every: every}
 }
+
+// Shard returns the caller's shard, creating it (and any lower-numbered
+// ones) on first use. Safe to call concurrently; the per-shard Observe is
+// what must stay single-threaded.
+func (h *HotnessSampler) Shard(i int) *SamplerShard {
+	if i < 0 {
+		i = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.shards) <= i {
+		h.shards = append(h.shards, &SamplerShard{
+			counts: make([]float64, h.numEntries),
+			dedup:  hashtable.NewDedup(256),
+			every:  h.every,
+		})
+	}
+	return h.shards[i]
+}
+
+// Observe feeds one input batch to shard 0 (single-goroutine convenience;
+// concurrent callers must use their own Shard).
+func (h *HotnessSampler) Observe(keys []int64) { h.Shard(0).Observe(keys) }
 
 // Observe feeds one input batch. Keys are counted once per batch
-// (presence), matching how the extractor deduplicates batches.
-func (h *HotnessSampler) Observe(keys []int64) {
-	h.seen++
-	if (h.seen-1)%h.every != 0 {
+// (presence), matching how the extractor deduplicates batches; the reusable
+// generation-stamped dedup table replaces the old per-batch map allocation.
+func (s *SamplerShard) Observe(keys []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	if (s.seen-1)%s.every != 0 {
 		return
 	}
-	h.sampled++
-	seen := make(map[int64]struct{}, len(keys))
+	s.sampled++
+	s.dedup.Reset(len(keys))
 	for _, k := range keys {
-		if k < 0 || k >= int64(len(h.counts)) {
+		if k < 0 || k >= int64(len(s.counts)) {
 			continue
 		}
-		if _, dup := seen[k]; dup {
-			continue
+		if _, fresh := s.dedup.Add(k); fresh {
+			s.counts[k]++
 		}
-		seen[k] = struct{}{}
-		h.counts[k]++
 	}
 }
 
-// Batches returns how many batches were actually recorded.
-func (h *HotnessSampler) Batches() int { return h.sampled }
+// Batches returns how many batches were recorded across all shards.
+func (h *HotnessSampler) Batches() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for _, s := range h.shards {
+		s.mu.Lock()
+		total += s.sampled
+		s.mu.Unlock()
+	}
+	return total
+}
 
-// Hotness returns the measured per-entry expected accesses per iteration.
+// Hotness merges the shards into the measured per-entry expected accesses
+// per iteration.
 func (h *HotnessSampler) Hotness() (workload.Hotness, error) {
-	if h.sampled == 0 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sampled := 0
+	for _, s := range h.shards {
+		s.mu.Lock()
+		sampled += s.sampled
+		s.mu.Unlock()
+	}
+	if sampled == 0 {
 		return nil, fmt.Errorf("cache: no batches sampled")
 	}
-	out := make(workload.Hotness, len(h.counts))
-	inv := 1 / float64(h.sampled)
-	for i, c := range h.counts {
-		out[i] = c * inv
+	out := make(workload.Hotness, h.numEntries)
+	inv := 1 / float64(sampled)
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for i, c := range s.counts {
+			out[i] += c * inv
+		}
+		s.mu.Unlock()
 	}
 	return out, nil
 }
@@ -136,6 +251,10 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 	}
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
+	if m := s.refreshMet.Load(); m != nil {
+		m.active.Set(1)
+		defer m.active.Set(0)
+	}
 	old := s.snap.Load()
 	if newPl.NumGPUs != s.P.N || newPl.NumEntries() != old.placement.NumEntries() {
 		return nil, fmt.Errorf("cache: new placement shape mismatch")
@@ -164,11 +283,20 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 		}
 	}
 
-	// Update phase: moved bytes happen in BatchEntries-sized steps.
+	// Update phase: moved bytes happen in BatchEntries-sized steps, with the
+	// final step sized by the actual remainder — a 50k-entry batch config
+	// moving 50k+1 entries costs one full step plus a 1-entry step, not two
+	// full ones (the old accounting overstated UpdateSeconds and the
+	// Fig. 17 timeline for every non-multiple diff).
 	movedEntries := evicted + inserted
-	steps := (movedEntries + cfg.BatchEntries - 1) / cfg.BatchEntries
+	fullSteps := movedEntries / cfg.BatchEntries
+	remEntries := movedEntries % cfg.BatchEntries
 	perStep := float64(cfg.BatchEntries*int64(s.EntryBytes)) / cfg.UpdateBandwidth
-	updateSeconds := float64(steps) * (perStep + cfg.PauseSeconds)
+	remStep := float64(remEntries*int64(s.EntryBytes)) / cfg.UpdateBandwidth
+	updateSeconds := float64(fullSteps) * (perStep + cfg.PauseSeconds)
+	if remEntries > 0 {
+		updateSeconds += remStep + cfg.PauseSeconds
+	}
 	duration := cfg.SolveSeconds + updateSeconds
 
 	// Timeline.
@@ -188,9 +316,17 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 		case t < cfg.SolveSeconds:
 			it = baseIterTime * cfg.SolveImpact
 		default:
-			// Inside the update phase: batches alternate with pauses.
-			phase := math.Mod(t-cfg.SolveSeconds, perStep+cfg.PauseSeconds)
-			if phase < perStep {
+			// Inside the update phase: batches alternate with pauses; the
+			// final (possibly partial) step keeps the GPU busy only for its
+			// actual transfer time.
+			u := t - cfg.SolveSeconds
+			stepLen := perStep + cfg.PauseSeconds
+			step := int64(u / stepLen)
+			busy := perStep
+			if step >= fullSteps {
+				busy = remStep
+			}
+			if math.Mod(u, stepLen) < busy {
 				it = baseIterTime * cfg.UpdateImpact
 			}
 		}
@@ -232,6 +368,9 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 		}
 	}
 	s.snap.Store(next)
+	if m := s.refreshMet.Load(); m != nil {
+		m.publish(rep)
+	}
 	return rep, nil
 }
 

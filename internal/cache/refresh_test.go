@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ugache/internal/platform"
+	"ugache/internal/solver"
+	"ugache/internal/telemetry"
+	"ugache/internal/workload"
+)
+
+// TestRefreshUpdateSecondsPartialBatch pins the update-phase accounting
+// when the moved-entry count is not a multiple of BatchEntries: the final
+// step must be charged for its actual remainder, not a full BatchEntries
+// transfer (the old code inflated UpdateSeconds, Duration and the Fig. 17
+// timeline).
+func TestRefreshUpdateSecondsPartialBatch(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 4000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reversed hotness produces a large, odd-sized diff.
+	h2 := make(workload.Hotness, 4000)
+	for i := range h2 {
+		h2[i] = in.Hotness[4000-1-i]
+	}
+	in2 := *in
+	in2.Hotness = h2
+	pl2, err := (solver.UGache{}).Solve(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 301
+	cfg.PauseSeconds = 0.1
+	cfg.UpdateBandwidth = 1e6
+	base := 0.002
+	rep, err := sys.Refresh(pl2, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := rep.EvictedEntries + rep.InsertedEntries
+	if moved == 0 {
+		t.Fatal("no diff to time")
+	}
+	if moved%cfg.BatchEntries == 0 {
+		t.Fatalf("diff of %d entries is a multiple of %d; test needs a remainder", moved, cfg.BatchEntries)
+	}
+	full := moved / cfg.BatchEntries
+	rem := moved % cfg.BatchEntries
+	perStep := float64(cfg.BatchEntries*int64(sys.EntryBytes)) / cfg.UpdateBandwidth
+	remStep := float64(rem*int64(sys.EntryBytes)) / cfg.UpdateBandwidth
+	want := float64(full)*(perStep+cfg.PauseSeconds) + remStep + cfg.PauseSeconds
+	if math.Abs(rep.UpdateSeconds-want) > 1e-9 {
+		t.Fatalf("UpdateSeconds %g, want %g (%d moved, %d full steps, %d remainder)",
+			rep.UpdateSeconds, want, moved, full, rem)
+	}
+	// The old accounting charged ceil(moved/BatchEntries) full steps.
+	oldWant := float64(full+1) * (perStep + cfg.PauseSeconds)
+	if rep.UpdateSeconds >= oldWant {
+		t.Fatalf("UpdateSeconds %g not below the old full-step accounting %g", rep.UpdateSeconds, oldWant)
+	}
+	if math.Abs(rep.Duration-(cfg.SolveSeconds+rep.UpdateSeconds)) > 1e-9 {
+		t.Fatalf("Duration %g inconsistent with UpdateSeconds %g", rep.Duration, rep.UpdateSeconds)
+	}
+	// The timeline's busy windows must respect the shorter final step: no
+	// sample inside the final pause may show update impact.
+	tailBusyEnd := cfg.SolveSeconds + float64(full)*(perStep+cfg.PauseSeconds) + remStep
+	for _, st := range rep.Timeline {
+		if st.T >= tailBusyEnd && st.T < rep.Duration && st.IterTime != base {
+			t.Fatalf("timeline busy at %g inside the final pause (iter %g)", st.T, st.IterTime)
+		}
+	}
+}
+
+// TestHotnessSamplerShardsConcurrent drives one sampler from many
+// goroutines (shard-per-caller) with merges racing the observations; run
+// with -race. The merged hotness must equal the single-shard result.
+func TestHotnessSamplerShardsConcurrent(t *testing.T) {
+	const workers = 4
+	const batches = 50
+	s := NewHotnessSampler(100, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := s.Shard(w)
+			for b := 0; b < batches; b++ {
+				sh.Observe([]int64{int64(w), int64(b % 10), int64(b % 10), 999999, -3})
+				if b%10 == 0 {
+					if _, err := s.Hotness(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Batches(); got != workers*batches {
+		t.Fatalf("sampled %d batches, want %d", got, workers*batches)
+	}
+	h, err := s.Hotness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(workers * batches)
+	// Key 7 appears only as b%10==7: 5 batches per worker.
+	if got := h[7] * total; math.Abs(got-float64(workers*5)) > 1e-9 {
+		t.Fatalf("key 7 count %g, want %d", got, workers*5)
+	}
+	// Key 0: all 50 of worker 0's batches (own key, deduped against the
+	// b%10==0 hits) plus 5 b%10==0 batches from each other worker.
+	if got := h[0] * total; math.Abs(got-float64(batches+(workers-1)*5)) > 1e-9 {
+		t.Fatalf("key 0 count %g, want %d", got, batches+(workers-1)*5)
+	}
+	// Out-of-range keys (999999, -3) must be ignored.
+	if h[99] != 0 {
+		t.Fatalf("key 99 hotness %g, want 0", h[99])
+	}
+	if _, err := NewHotnessSampler(10, 1).Hotness(); err == nil {
+		t.Fatal("empty sampler accepted")
+	}
+}
+
+// TestRefreshTelemetryGauges checks SetTelemetry publishes the report.
+func TestRefreshTelemetryGauges(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 2000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry(2)
+	sys.SetTelemetry(reg)
+
+	h2 := make(workload.Hotness, 2000)
+	for i := range h2 {
+		h2[i] = in.Hotness[2000-1-i]
+	}
+	in2 := *in
+	in2.Hotness = h2
+	pl2, err := (solver.UGache{}).Solve(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 100
+	rep, err := sys.Refresh(pl2, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range reg.Samples() {
+		vals[s.Name] = s.Value
+	}
+	if vals["cache_refresh_total"] != 1 {
+		t.Fatalf("refresh counter %g", vals["cache_refresh_total"])
+	}
+	if vals["cache_refresh_active"] != 0 {
+		t.Fatal("refresh still marked active")
+	}
+	if vals["cache_refresh_last_duration_seconds"] != rep.Duration ||
+		vals["cache_refresh_last_update_seconds"] != rep.UpdateSeconds ||
+		vals["cache_refresh_last_evicted_entries"] != float64(rep.EvictedEntries) {
+		t.Fatalf("gauges %v do not match report %+v", vals, rep)
+	}
+}
+
+// TestHotnessSamplerEvery pins the per-shard sampling cadence (the old
+// single-threaded behaviour, now via shard 0).
+func TestHotnessSamplerEvery(t *testing.T) {
+	s := NewHotnessSampler(10, 2)
+	s.Observe([]int64{1, 1, 2}) // recorded
+	s.Observe([]int64{3})       // skipped
+	s.Observe([]int64{1})       // recorded
+	if s.Batches() != 2 {
+		t.Fatalf("sampled %d", s.Batches())
+	}
+	h, err := s.Hotness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[1] != 1 || h[2] != 0.5 || h[3] != 0 {
+		t.Fatalf("hotness %v", h[:4])
+	}
+}

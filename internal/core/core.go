@@ -25,6 +25,7 @@ import (
 	"ugache/internal/extract"
 	"ugache/internal/platform"
 	"ugache/internal/solver"
+	"ugache/internal/telemetry"
 	"ugache/internal/workload"
 )
 
@@ -57,6 +58,12 @@ type Config struct {
 	// placement (e.g. loaded with solver.LoadPlacement); it is validated
 	// against the rest of the config.
 	Placement *solver.Placement
+	// Telemetry, when non-nil, receives the engine's extraction metrics
+	// (simulated time split by source tier, per-tier cache-hit key
+	// counters) and the cache layer's refresh gauges. Nil disables
+	// instrumentation entirely — the no-op fast path is a single nil
+	// check per extraction.
+	Telemetry *telemetry.Registry
 }
 
 // engineState is the immutable placement-derived state one extraction or
@@ -79,6 +86,81 @@ type System struct {
 	// refreshMu serializes Refresh calls; readers never take it.
 	refreshMu sync.Mutex
 	state     atomic.Pointer[engineState]
+
+	// met is nil unless Config.Telemetry was set; every extraction then
+	// reports its per-tier split through lock-free shard updates.
+	met *extractMetrics
+}
+
+// extractMetrics splits the modelled extraction work by source tier — the
+// quantity the §6.2 model predicts and Fig. 13/14 report. Second splits are
+// the serial per-tier estimates (bytes x time-per-byte); tiers overlap in
+// the simulated schedule, so they sum to more than the makespan.
+type extractMetrics struct {
+	batches    *telemetry.Counter
+	simSeconds *telemetry.FloatCounter
+	tierKeys   [3]*telemetry.Counter      // local, remote, host
+	tierSecs   [3]*telemetry.FloatCounter // local, remote, host
+	tpb        [][]float64                // TimePerByteTable (Path allocates; this is the hot path)
+}
+
+const (
+	tierLocal = iota
+	tierRemote
+	tierHost
+)
+
+func newExtractMetrics(reg *telemetry.Registry, p *platform.Platform) *extractMetrics {
+	return &extractMetrics{
+		tpb:        p.TimePerByteTable(),
+		batches:    reg.Counter("core_extract_batches_total", "simulated extraction batches"),
+		simSeconds: reg.FloatCounter("core_extract_sim_seconds_total", "simulated extraction makespan seconds"),
+		tierKeys: [3]*telemetry.Counter{
+			tierLocal:  reg.Counter("core_hit_local_keys_total", "keys served from the local GPU cache partition"),
+			tierRemote: reg.Counter("core_hit_remote_keys_total", "keys served from peer GPU caches"),
+			tierHost:   reg.Counter("core_hit_host_keys_total", "keys falling through to host memory"),
+		},
+		tierSecs: [3]*telemetry.FloatCounter{
+			tierLocal:  reg.FloatCounter("core_extract_local_seconds_total", "modelled seconds moving local-tier bytes"),
+			tierRemote: reg.FloatCounter("core_extract_remote_seconds_total", "modelled seconds moving remote-tier bytes"),
+			tierHost:   reg.FloatCounter("core_extract_host_seconds_total", "modelled seconds moving host-tier bytes"),
+		},
+	}
+}
+
+// observeExtract records one extraction result: the makespan plus, per
+// destination GPU, the per-tier key counts and serial time estimates
+// derived from the source-volume matrix (which reflects the placement
+// snapshot the batch resolved against). Counter updates shard by
+// destination GPU, so concurrent serving workers do not contend.
+func (s *System) observeExtract(res *extract.Result) {
+	m := s.met
+	entryBytes := float64(s.Cache.EntryBytes)
+	host := int(s.P.Host())
+	shard := 0 // first active destination; serving batches have exactly one
+	for g, row := range res.SrcBytes {
+		active := false
+		for j, bytes := range row {
+			if bytes == 0 {
+				continue
+			}
+			active = true
+			tier := tierRemote
+			switch j {
+			case g:
+				tier = tierLocal
+			case host:
+				tier = tierHost
+			}
+			m.tierKeys[tier].Add(g, int64(bytes/entryBytes))
+			m.tierSecs[tier].Add(g, bytes*m.tpb[g][j])
+		}
+		if active && shard == 0 {
+			shard = g
+		}
+	}
+	m.batches.Add(shard, 1)
+	m.simSeconds.Add(shard, res.Time)
 }
 
 // Build solves the policy and fills the caches.
@@ -153,9 +235,16 @@ func Build(cfg Config) (*System, error) {
 		policy:    policy,
 		capacity:  capacity,
 	}
+	if cfg.Telemetry != nil {
+		s.met = newExtractMetrics(cfg.Telemetry, cfg.Platform)
+		cs.SetTelemetry(cfg.Telemetry)
+	}
 	s.state.Store(&engineState{placement: pl, extractor: ex, input: in})
 	return s, nil
 }
+
+// Telemetry reports whether the system was built with a telemetry registry.
+func (s *System) Telemetry() bool { return s.met != nil }
 
 // Placement returns the currently active placement.
 func (s *System) Placement() *solver.Placement { return s.state.Load().placement }
@@ -170,11 +259,16 @@ func (s *System) Functional() bool { return s.Cache.Functional() }
 // ExtractBatch simulates one iteration's extraction with the configured
 // mechanism and returns the timing result.
 func (s *System) ExtractBatch(b *extract.Batch) (*extract.Result, error) {
-	return s.state.Load().extractor.Run(s.Mechanism, b)
+	res, err := s.state.Load().extractor.Run(s.Mechanism, b)
+	if err == nil && s.met != nil {
+		s.observeExtract(res)
+	}
+	return res, err
 }
 
 // ExtractWith simulates one extraction with an explicit mechanism
-// (baseline comparisons).
+// (baseline comparisons). Telemetry only tracks the configured mechanism,
+// so baseline sweeps do not pollute the serving counters.
 func (s *System) ExtractWith(m extract.Mechanism, b *extract.Batch) (*extract.Result, error) {
 	return s.state.Load().extractor.Run(m, b)
 }

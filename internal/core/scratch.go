@@ -35,7 +35,11 @@ func (s *System) ExtractBatchWith(b *extract.Batch, sc *Scratch) (*extract.Resul
 	if sc != nil {
 		esc = sc.extract
 	}
-	return s.state.Load().extractor.RunWith(s.Mechanism, b, esc)
+	res, err := s.state.Load().extractor.RunWith(s.Mechanism, b, esc)
+	if err == nil && s.met != nil {
+		s.observeExtract(res)
+	}
+	return res, err
 }
 
 // LookupWith is Lookup with an optional scratch for the gather's grouping

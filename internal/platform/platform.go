@@ -365,6 +365,23 @@ func (p *Platform) TimePerByte(dst int, src SourceID) (t float64, ok bool) {
 	return 1 / bw, true
 }
 
+// TimePerByteTable materializes TimePerByte as an N x (N+1) matrix —
+// tbl[dst][src] in seconds per byte, 0 for unconnected pairs. Path lookups
+// allocate; per-batch hot paths (telemetry's per-tier second estimates)
+// index this table instead of calling TimePerByte.
+func (p *Platform) TimePerByteTable() [][]float64 {
+	tbl := make([][]float64, p.N)
+	for g := range tbl {
+		tbl[g] = make([]float64, p.N+1)
+		for j := 0; j <= p.N; j++ {
+			if t, ok := p.TimePerByte(g, SourceID(j)); ok {
+				tbl[g][j] = t
+			}
+		}
+	}
+	return tbl
+}
+
 // HBMLink, PCIeLink, DRAMLink, OutLink, InLink and PairLink expose link IDs
 // for utilization reporting (Fig. 13).
 func (p *Platform) HBMLink(g int) sim.LinkID  { return p.hbm[g] }

@@ -11,18 +11,30 @@
 // in. Requests never block each other across GPUs, and the system under-
 // neath may Refresh concurrently — every coalesced batch resolves against
 // one placement snapshot.
+//
+// Every server carries a telemetry registry (request-latency and queue-wait
+// histograms, batch fill-reason counters, coalescing totals) and a
+// per-batch trace ring; both update through lock-free per-worker shards and
+// preallocated records, so instrumentation keeps the flush path at its
+// BENCH_hotpath.json allocation budget (DESIGN.md §6.2).
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"ugache/internal/cache"
 	"ugache/internal/core"
 	"ugache/internal/extract"
 	"ugache/internal/hashtable"
+	"ugache/internal/telemetry"
 )
+
+// ErrClosed is returned by requests that reach a closed (or closing)
+// server.
+var ErrClosed = errors.New("serve: server closed")
 
 // Config tunes the coalescer.
 type Config struct {
@@ -34,6 +46,23 @@ type Config struct {
 	MaxWait time.Duration
 	// QueueDepth is the per-GPU request queue buffer (default 256).
 	QueueDepth int
+
+	// Telemetry receives the engine's metrics. Nil creates a private
+	// registry (sharded per GPU), so Metrics and Stats always work; pass
+	// the same registry to core.Config.Telemetry to get the extraction and
+	// refresh metrics alongside.
+	Telemetry *telemetry.Registry
+	// TraceDepth sizes the per-batch trace ring (default 256; negative
+	// disables tracing entirely).
+	TraceDepth int
+	// TraceEvery records every Nth batch per worker into the trace ring
+	// (default 1: every batch — recording is allocation-free, so the
+	// default sampling keeps the hot path at its benchmarked budget).
+	TraceEvery int
+	// Sampler, when non-nil, observes every coalesced batch's unique keys
+	// for §7.2 hotness re-estimation. Worker g feeds the sampler's shard g,
+	// so one sampler may serve all workers concurrently.
+	Sampler *cache.HotnessSampler
 }
 
 func (c Config) normalize() Config {
@@ -45,6 +74,12 @@ func (c Config) normalize() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.TraceDepth == 0 {
+		c.TraceDepth = 256
+	}
+	if c.TraceEvery <= 0 {
+		c.TraceEvery = 1
 	}
 	return c
 }
@@ -71,7 +106,7 @@ type Result struct {
 	Err error
 }
 
-// Stats are cumulative serving counters.
+// Stats are cumulative serving counters, read from the telemetry registry.
 type Stats struct {
 	Requests      int64   // requests completed
 	Batches       int64   // coalesced batches flushed
@@ -89,8 +124,42 @@ func (s Stats) MeanBatchKeys() float64 {
 }
 
 type request struct {
-	keys []int64
-	out  chan Result
+	keys     []int64
+	out      chan Result
+	enqueued time.Time
+}
+
+// metrics is the serve-layer metric bundle; see DESIGN.md §6.2 for the
+// naming scheme and overhead contract.
+type metrics struct {
+	requests      *telemetry.Counter
+	batches       *telemetry.Counter
+	requestedKeys *telemetry.Counter
+	uniqueKeys    *telemetry.Counter
+	simSeconds    *telemetry.FloatCounter
+	fill          [3]*telemetry.Counter // indexed by telemetry.FillReason
+	latency       *telemetry.Histogram
+	queueWait     *telemetry.Histogram
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	// 1us..~4.3s in x2 steps covers sub-millisecond coalesced lookups
+	// through multi-second stalls.
+	latencyBuckets := telemetry.ExpBuckets(1e-6, 2, 23)
+	return &metrics{
+		requests:      reg.Counter("serve_requests_total", "requests completed"),
+		batches:       reg.Counter("serve_batches_total", "coalesced batches flushed"),
+		requestedKeys: reg.Counter("serve_requested_keys_total", "keys requested before dedup"),
+		uniqueKeys:    reg.Counter("serve_unique_keys_total", "unique keys extracted"),
+		simSeconds:    reg.FloatCounter("serve_sim_seconds_total", "simulated extraction seconds"),
+		fill: [3]*telemetry.Counter{
+			telemetry.FillFull:  reg.Counter("serve_batch_fill_full_total", "batches flushed because MaxBatchKeys was reached"),
+			telemetry.FillTimer: reg.Counter("serve_batch_fill_timer_total", "batches flushed by the MaxWait deadline"),
+			telemetry.FillDrain: reg.Counter("serve_batch_fill_drain_total", "batches flushed by the shutdown drain"),
+		},
+		latency:   reg.Histogram("serve_request_latency_seconds", "request latency from enqueue to reply", latencyBuckets),
+		queueWait: reg.Histogram("serve_queue_wait_seconds", "queue wait of a batch's first request", latencyBuckets),
+	}
 }
 
 // Server owns one worker goroutine per GPU.
@@ -103,10 +172,21 @@ type Server struct {
 	queues []chan *request
 	done   chan struct{}
 	wg     sync.WaitGroup
-	closed atomic.Bool
 
-	mu    sync.Mutex
-	stats Stats
+	// closeMu fences Handle against Close (the two-phase shutdown): Handle
+	// enqueues under the read lock after checking closed; Close sets closed
+	// under the write lock before closing done. Taking the write lock
+	// therefore excludes every in-flight Handle, so once done is closed no
+	// further request can appear and the workers' final drain provably
+	// empties the queues.
+	closeMu sync.RWMutex
+	closed  bool
+
+	tel     *telemetry.Registry
+	met     *metrics
+	ring    *telemetry.TraceRing
+	sampler *cache.HotnessSampler
+	tpb     [][]float64 // platform.TimePerByteTable, for alloc-free trace records
 }
 
 // New starts the serving engine for a built system.
@@ -114,13 +194,25 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	if sys == nil {
 		return nil, fmt.Errorf("serve: nil system")
 	}
+	cfg = cfg.normalize()
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry(sys.P.N)
+	}
 	s := &Server{
 		sys:        sys,
-		cfg:        cfg.normalize(),
+		cfg:        cfg,
 		entryBytes: sys.Cache.EntryBytes,
 		functional: sys.Functional(),
 		queues:     make([]chan *request, sys.P.N),
 		done:       make(chan struct{}),
+		tel:        reg,
+		met:        newMetrics(reg),
+		sampler:    cfg.Sampler,
+	}
+	if cfg.TraceDepth > 0 {
+		s.ring = telemetry.NewTraceRing(cfg.TraceDepth)
+		s.tpb = sys.P.TimePerByteTable()
 	}
 	for g := range s.queues {
 		s.queues[g] = make(chan *request, s.cfg.QueueDepth)
@@ -130,10 +222,18 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Metrics returns the server's telemetry registry (the one passed in
+// Config.Telemetry, or the private default).
+func (s *Server) Metrics() *telemetry.Registry { return s.tel }
+
+// Trace returns the per-batch trace ring, or nil when tracing is disabled.
+func (s *Server) Trace() *telemetry.TraceRing { return s.ring }
+
 // Handle enqueues one request for GPU gpu and returns the channel its
 // Result will arrive on (buffered; the caller need not be ready). The keys
 // slice is not retained past completion but must not be mutated until the
-// result arrives.
+// result arrives. Every request accepted before Close returns is guaranteed
+// a Result; requests racing Close get ErrClosed.
 func (s *Server) Handle(gpu int, keys []int64) <-chan Result {
 	out := make(chan Result, 1)
 	if gpu < 0 || gpu >= len(s.queues) {
@@ -144,16 +244,17 @@ func (s *Server) Handle(gpu int, keys []int64) <-chan Result {
 		out <- Result{}
 		return out
 	}
-	if s.closed.Load() {
-		out <- Result{Err: fmt.Errorf("serve: server closed")}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		out <- Result{Err: ErrClosed}
 		return out
 	}
-	r := &request{keys: keys, out: out}
-	select {
-	case s.queues[gpu] <- r:
-	case <-s.done:
-		out <- Result{Err: fmt.Errorf("serve: server closed")}
-	}
+	r := &request{keys: keys, out: out, enqueued: time.Now()}
+	// The send may block on a full queue; the workers are guaranteed alive
+	// until Close takes the write lock, which waits for this read lock.
+	s.queues[gpu] <- r
+	s.closeMu.RUnlock()
 	return out
 }
 
@@ -164,20 +265,33 @@ func (s *Server) Lookup(gpu int, keys []int64) (Result, error) {
 }
 
 // Close stops accepting requests, flushes everything already queued, and
-// waits for the workers to exit. Safe to call more than once.
+// waits for the workers to exit. Safe to call more than once; concurrent
+// Handle calls either complete normally or observe ErrClosed — none are
+// stranded.
 func (s *Server) Close() {
-	if s.closed.Swap(true) {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
 		return
 	}
+	s.closed = true
+	s.closeMu.Unlock()
+	// Phase 2: every in-flight Handle has either enqueued or been rejected;
+	// with closed set no new one can enter. The workers drain what is left
+	// and exit.
 	close(s.done)
 	s.wg.Wait()
 }
 
 // Stats returns a copy of the cumulative counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Requests:      s.met.requests.Value(),
+		Batches:       s.met.batches.Value(),
+		RequestedKeys: s.met.requestedKeys.Value(),
+		UniqueKeys:    s.met.uniqueKeys.Value(),
+		SimSeconds:    s.met.simSeconds.Value(),
+	}
 }
 
 // workerScratch is one worker's reusable flush state: the open-addressing
@@ -192,6 +306,7 @@ type workerScratch struct {
 	batch extract.Batch
 	rows  []byte
 	core  *core.Scratch
+	seq   int64 // batches flushed by this worker (trace sampling)
 }
 
 func (s *Server) newWorkerScratch() *workerScratch {
@@ -218,8 +333,10 @@ func (s *Server) worker(g int) {
 			s.drain(g, q, sc)
 			return
 		}
+		queueWait := time.Since(first.enqueued)
 		batch := []*request{first}
 		pending := len(first.keys)
+		reason := telemetry.FillFull
 		if !timer.Stop() {
 			select {
 			case <-timer.C:
@@ -234,22 +351,26 @@ func (s *Server) worker(g int) {
 				batch = append(batch, r)
 				pending += len(r.keys)
 			case <-timer.C:
+				reason = telemetry.FillTimer
 				break fill
 			case <-s.done:
+				reason = telemetry.FillDrain
 				break fill
 			}
 		}
-		s.flush(g, batch, sc)
+		s.flush(g, batch, sc, reason, queueWait)
 	}
 }
 
 // drain flushes whatever is still queued at Close time so no Handle caller
-// is left waiting.
+// is left waiting. It runs after close(s.done), by which point Close's
+// write lock has excluded every producer, so an empty poll really means
+// the queue is empty for good.
 func (s *Server) drain(g int, q chan *request, sc *workerScratch) {
 	for {
 		select {
 		case r := <-q:
-			s.flush(g, []*request{r}, sc)
+			s.flush(g, []*request{r}, sc, telemetry.FillDrain, time.Since(r.enqueued))
 		default:
 			return
 		}
@@ -259,8 +380,9 @@ func (s *Server) drain(g int, q chan *request, sc *workerScratch) {
 // flush coalesces the batch's keys, runs one extraction, and fans the
 // per-request results back out. Everything it needs lives in the worker's
 // scratch; the only steady-state allocation is the batch-sized Rows block
-// handed to the callers (see Result.Rows).
-func (s *Server) flush(g int, batch []*request, sc *workerScratch) {
+// handed to the callers (see Result.Rows). The telemetry updates are
+// lock-free shard writes and one preallocated trace-ring copy.
+func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason telemetry.FillReason, queueWait time.Duration) {
 	// Dedupe across requests with the generation-stamped open-addressing
 	// table, remembering each unique key's row index.
 	requested := 0
@@ -279,7 +401,7 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch) {
 	sc.uniq = uniq
 
 	// One simulated extraction for the whole coalesced batch. The result
-	// aliases sc.core, so pull out the scalar we need before reusing it.
+	// aliases sc.core, so pull out the scalars we need before reusing it.
 	sc.batch.Keys[g] = uniq
 	res, err := s.sys.ExtractBatchWith(&sc.batch, sc.core)
 	sc.batch.Keys[g] = nil
@@ -288,6 +410,16 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch) {
 		return
 	}
 	simTime := res.Time
+	sc.seq++
+	if s.ring != nil && sc.seq%int64(s.cfg.TraceEvery) == 0 {
+		s.recordTrace(g, sc.seq, batch, res, requested, len(uniq), reason, queueWait, simTime)
+	}
+
+	// Feed the §7.2 hotness sampler with this batch's unique keys; shard g
+	// belongs to this worker, so the observation is race-free.
+	if s.sampler != nil {
+		s.sampler.Shard(g).Observe(uniq)
+	}
 
 	// One functional gather of the unique rows into the staging buffer, if
 	// the system holds bytes.
@@ -323,15 +455,54 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch) {
 			off = end
 		}
 		r.out <- out
+		s.met.latency.Observe(g, time.Since(r.enqueued).Seconds())
 	}
 
-	s.mu.Lock()
-	s.stats.Requests += int64(len(batch))
-	s.stats.Batches++
-	s.stats.RequestedKeys += int64(requested)
-	s.stats.UniqueKeys += int64(len(uniq))
-	s.stats.SimSeconds += simTime
-	s.mu.Unlock()
+	m := s.met
+	m.requests.Add(g, int64(len(batch)))
+	m.batches.Add(g, 1)
+	m.requestedKeys.Add(g, int64(requested))
+	m.uniqueKeys.Add(g, int64(len(uniq)))
+	m.simSeconds.Add(g, simTime)
+	m.fill[reason].Add(g, 1)
+	m.queueWait.Observe(g, queueWait.Seconds())
+}
+
+// recordTrace snapshots one batch into the trace ring: formation stats plus
+// the per-tier bytes and modelled seconds from the extractor's
+// source-volume matrix (read before the scratch is reused).
+func (s *Server) recordTrace(g int, seq int64, batch []*request, res *extract.Result,
+	requested, unique int, reason telemetry.FillReason, queueWait time.Duration, simTime float64) {
+	tr := telemetry.BatchTrace{
+		Seq:              seq,
+		GPU:              g,
+		UnixNanos:        time.Now().UnixNano(),
+		QueueWaitSeconds: queueWait.Seconds(),
+		Requests:         len(batch),
+		RequestedKeys:    requested,
+		UniqueKeys:       unique,
+		Reason:           reason,
+		SimSeconds:       simTime,
+	}
+	host := int(s.sys.P.Host())
+	for j, bytes := range res.SrcBytes[g] {
+		if bytes == 0 {
+			continue
+		}
+		sec := bytes * s.tpb[g][j]
+		switch {
+		case j == host:
+			tr.HostBytes += bytes
+			tr.HostSeconds += sec
+		case j == g:
+			tr.LocalBytes += bytes
+			tr.LocalSeconds += sec
+		default:
+			tr.RemoteBytes += bytes
+			tr.RemoteSeconds += sec
+		}
+	}
+	s.ring.Record(&tr)
 }
 
 func (s *Server) fail(batch []*request, err error) {

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"ugache/internal/cache"
+	"ugache/internal/core"
+	"ugache/internal/platform"
+	"ugache/internal/telemetry"
+)
+
+func sampleValue(t *testing.T, reg *telemetry.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Samples() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %s not registered", name)
+	return 0
+}
+
+// TestServeTelemetry drives the instrumented engine end to end and checks
+// the whole surface: coalescing counters, fill reasons, the latency
+// histogram, the per-tier extraction split, and the trace ring.
+func TestServeTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry(4)
+	sys, err := core.Build(core.Config{
+		Platform:   platform.ServerA(),
+		Hotness:    testHotness(2000, 1.1, 3),
+		EntryBytes: 64,
+		CacheRatio: 0.1,
+		Telemetry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := cache.NewHotnessSampler(2000, 1)
+	srv, err := New(sys, Config{
+		MaxBatchKeys: 1 << 20,
+		MaxWait:      time.Millisecond,
+		Telemetry:    reg,
+		TraceDepth:   32,
+		Sampler:      sampler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const reqs = 24
+	chans := make([]<-chan Result, reqs)
+	for i := 0; i < reqs; i++ {
+		chans[i] = srv.Handle(i%sys.P.N, []int64{int64(i), int64(i + 100), int64(i % 3)})
+	}
+	for i, ch := range chans {
+		if res := <-ch; res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+	}
+	srv.Close()
+
+	if srv.Metrics() != reg {
+		t.Fatal("Metrics() did not return the shared registry")
+	}
+	if got := sampleValue(t, reg, "serve_requests_total"); got != reqs {
+		t.Fatalf("serve_requests_total %g, want %d", got, reqs)
+	}
+	if got := sampleValue(t, reg, "serve_requested_keys_total"); got != 3*reqs {
+		t.Fatalf("serve_requested_keys_total %g, want %d", got, 3*reqs)
+	}
+	uniq := sampleValue(t, reg, "serve_unique_keys_total")
+	if uniq <= 0 || uniq > 3*reqs {
+		t.Fatalf("serve_unique_keys_total %g out of range", uniq)
+	}
+	batches := sampleValue(t, reg, "serve_batches_total")
+	if batches <= 0 || batches >= reqs {
+		t.Fatalf("serve_batches_total %g: no coalescing", batches)
+	}
+	fills := sampleValue(t, reg, "serve_batch_fill_full_total") +
+		sampleValue(t, reg, "serve_batch_fill_timer_total") +
+		sampleValue(t, reg, "serve_batch_fill_drain_total")
+	if fills != batches {
+		t.Fatalf("fill reasons sum %g, batches %g", fills, batches)
+	}
+	if got := sampleValue(t, reg, "serve_request_latency_seconds_count"); got != reqs {
+		t.Fatalf("latency observations %g, want %d", got, reqs)
+	}
+	if p99 := sampleValue(t, reg, "serve_request_latency_seconds_p99"); p99 <= 0 {
+		t.Fatalf("latency p99 %g", p99)
+	}
+	if got := sampleValue(t, reg, "serve_sim_seconds_total"); got <= 0 {
+		t.Fatalf("serve_sim_seconds_total %g", got)
+	}
+
+	// Core-level split: every unique key landed in exactly one tier.
+	tiers := sampleValue(t, reg, "core_hit_local_keys_total") +
+		sampleValue(t, reg, "core_hit_remote_keys_total") +
+		sampleValue(t, reg, "core_hit_host_keys_total")
+	if tiers != uniq {
+		t.Fatalf("tier keys %g, unique keys %g", tiers, uniq)
+	}
+	if got := sampleValue(t, reg, "core_extract_batches_total"); got != batches {
+		t.Fatalf("core_extract_batches_total %g, serve batches %g", got, batches)
+	}
+
+	// Trace ring: records exist and are internally consistent.
+	ring := srv.Trace()
+	if ring == nil {
+		t.Fatal("trace ring disabled at default config")
+	}
+	traces := ring.Snapshot(nil)
+	if len(traces) == 0 {
+		t.Fatal("no batch traces recorded")
+	}
+	var traceReqs int
+	for _, tr := range traces {
+		traceReqs += tr.Requests
+		if tr.UniqueKeys <= 0 || tr.RequestedKeys < tr.UniqueKeys {
+			t.Fatalf("inconsistent trace %+v", tr)
+		}
+		gotBytes := tr.LocalBytes + tr.RemoteBytes + tr.HostBytes
+		if want := float64(tr.UniqueKeys * 64); gotBytes != want {
+			t.Fatalf("trace tier bytes %g, want %g", gotBytes, want)
+		}
+		if tr.SimSeconds <= 0 {
+			t.Fatalf("trace without sim time: %+v", tr)
+		}
+	}
+	if traceReqs != reqs {
+		t.Fatalf("traced requests %d, want %d (TraceEvery default must record every batch)", traceReqs, reqs)
+	}
+
+	// Sampler wiring: every flushed batch was observed, shard-per-worker.
+	if sampler.Batches() != int(batches) {
+		t.Fatalf("sampler observed %d batches, want %g", sampler.Batches(), batches)
+	}
+	if _, err := sampler.Hotness(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeTelemetryTraceSampling checks TraceEvery thins the ring.
+func TestServeTelemetryTraceSampling(t *testing.T) {
+	sys, err := core.Build(core.Config{
+		Platform:   platform.ServerA(),
+		Hotness:    testHotness(500, 1.1, 3),
+		EntryBytes: 32,
+		CacheRatio: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, Config{MaxBatchKeys: 1, MaxWait: time.Millisecond, TraceEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := srv.Lookup(0, []int64{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+	// 16 single-request batches on worker 0, every 4th traced.
+	if n := srv.Trace().Len(); n != 4 {
+		t.Fatalf("trace ring holds %d records, want 4", n)
+	}
+	st := srv.Stats()
+	if st.Requests != 16 || st.Batches != 16 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the registry at /metrics (plain-text exposition format)
+// and, when ring is non-nil, the last-N batch traces at /debug/trace
+// (JSON array, oldest first). Either argument may be nil; the matching
+// endpoint then answers 404.
+func Handler(reg *Registry, ring *TraceRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if reg == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteMetrics(w); err != nil {
+			// Headers are gone; all we can do is note it inline.
+			fmt.Fprintf(w, "# write error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		if ring == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := ring.WriteJSON(w); err != nil {
+			fmt.Fprintf(w, "// write error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "ugache telemetry\n\n/metrics      plain-text counters, gauges, latency histograms\n/debug/trace  last-N per-batch trace records (JSON)\n")
+	})
+	return mux
+}

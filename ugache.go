@@ -39,6 +39,7 @@ package ugache
 
 import (
 	"io"
+	"net/http"
 
 	"ugache/internal/cache"
 	"ugache/internal/core"
@@ -48,6 +49,7 @@ import (
 	"ugache/internal/rng"
 	"ugache/internal/serve"
 	"ugache/internal/solver"
+	"ugache/internal/telemetry"
 	"ugache/internal/workload"
 )
 
@@ -217,6 +219,28 @@ type ServeStats = serve.Stats
 // Serve starts the serving engine on a built system. Close the returned
 // server to stop its workers.
 func Serve(sys *System, cfg ServeConfig) (*Server, error) { return serve.New(sys, cfg) }
+
+// TelemetryRegistry collects counters, gauges and latency histograms from
+// the core, cache and serve layers (DESIGN.md §6.2). Share one registry
+// across Config.Telemetry and ServeConfig.Telemetry to get a unified
+// /metrics surface.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry creates a registry with the given number of
+// lock-free update shards (use the platform's GPU count for serving).
+func NewTelemetryRegistry(shards int) *TelemetryRegistry { return telemetry.NewRegistry(shards) }
+
+// BatchTrace is one coalesced batch's trace record (Server.Trace).
+type BatchTrace = telemetry.BatchTrace
+
+// TraceRing is the last-N ring of batch traces kept by a Server.
+type TraceRing = telemetry.TraceRing
+
+// TelemetryHandler serves /metrics (Prometheus text format) and
+// /debug/trace (JSON) for a registry and an optional trace ring.
+func TelemetryHandler(reg *TelemetryRegistry, ring *TraceRing) http.Handler {
+	return telemetry.Handler(reg, ring)
+}
 
 // Rand is the repository's deterministic random generator.
 type Rand = rng.Rand
