@@ -1,11 +1,11 @@
 GO ?= go
 
-RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry
+RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline
 
 # Packages with testing.B microbenchmarks on the extraction hot path.
 BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve
 
-.PHONY: check build test vet fmt race bench figures
+.PHONY: check build test vet fmt race bench figures trace-smoke
 
 check: fmt vet build test race
 
@@ -35,3 +35,10 @@ bench:
 # Regenerate the paper's tables and figures (minutes at full scale).
 figures:
 	$(GO) run ./cmd/ugache-bench -exp all
+
+# End-to-end timeline smoke test: run a short serving loop with tracing and
+# a refresh, then validate the exported Chrome trace.
+trace-smoke:
+	$(GO) run ./cmd/ugache-serve -scale 0.02 -clients 4 -requests 20 \
+		-refresh -trace-out /tmp/ugache-trace-smoke.json
+	$(GO) run ./cmd/ugache-trace -check-timeline /tmp/ugache-trace-smoke.json

@@ -24,6 +24,7 @@ import (
 	"ugache/internal/prof"
 	"ugache/internal/stats"
 	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "pre-warm worker pool size (0 = one per CPU, 1 = sequential)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		telem      = flag.Bool("telemetry", false, "instrument the experiments' core systems and print a summary table of all collected metrics")
+		timelineF  = flag.String("timeline", "", "record refresh/solver spans from the instrumented experiments and write Chrome trace-event JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -46,7 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 		os.Exit(1)
 	}
-	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *list, *telem)
+	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *list, *telem, *timelineF)
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 		if code == 0 {
@@ -56,7 +58,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(exps string, scale float64, iters int, seed uint64, quick bool, workers int, list, telem bool) int {
+func run(exps string, scale float64, iters int, seed uint64, quick bool, workers int, list, telem bool, timelineF string) int {
 	if list {
 		names := bench.Names()
 		sort.Strings(names)
@@ -75,6 +77,11 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 	if telem {
 		reg = telemetry.NewRegistry(8)
 		opt.Telemetry = reg
+	}
+	var tl *timeline.Recorder
+	if timelineF != "" {
+		tl = timeline.NewRecorder(1, 0)
+		opt.Timeline = tl
 	}
 	failed := 0
 	for _, name := range names {
@@ -100,8 +107,29 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 			fmt.Printf("### telemetry\n\n%s\n", t.String())
 		}
 	}
+	if tl != nil {
+		if err := writeTimeline(tl, timelineF); err != nil {
+			fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("### timeline\n\nwrote %d spans to %s (open in https://ui.perfetto.dev; fig17 emits the refresh/solver tracks)\n", len(tl.Events()), timelineF)
+		}
+	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeTimeline exports the recorder's spans as Chrome trace-event JSON.
+func writeTimeline(tl *timeline.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -9,6 +9,7 @@
 //
 //	ugache-serve -dataset SYN-A -clients 16 -requests 200
 //	ugache-serve -dataset CR -scale 0.1 -ratio 0.08 -max-wait 1ms
+//	ugache-serve -refresh -trace-out trace.json   # Perfetto-loadable spans
 package main
 
 import (
@@ -19,42 +20,65 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"ugache/internal/cache"
 	"ugache/internal/core"
 	"ugache/internal/platform"
 	"ugache/internal/prof"
 	"ugache/internal/rng"
 	"ugache/internal/serve"
 	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
+// options bundles the command's knobs (one field per flag).
+type options struct {
+	dataset    string
+	server     string
+	scale      float64
+	ratio      float64
+	clients    int
+	requests   int
+	batch      int
+	maxBatch   int
+	maxWait    time.Duration
+	seed       uint64
+	listen     string
+	traceDepth int
+	traceOut   string
+	refresh    bool
+}
+
 func main() {
-	var (
-		dataset    = flag.String("dataset", "SYN-A", "DLR dataset: CR, SYN-A or SYN-B")
-		server     = flag.String("server", "C", "platform: A (4xV100), B (8xV100 DGX-1) or C (8xA100)")
-		scale      = flag.Float64("scale", 0.05, "dataset scale multiplier")
-		ratio      = flag.Float64("ratio", 0.10, "per-GPU cache ratio")
-		clients    = flag.Int("clients", 8, "concurrent closed-loop clients")
-		requests   = flag.Int("requests", 100, "requests per client")
-		batch      = flag.Int("batch", 16, "inference samples per request")
-		maxBatch   = flag.Int("max-batch", 8192, "coalescer flush threshold in pending keys")
-		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "coalescer flush deadline")
-		seed       = flag.Uint64("seed", 42, "random seed")
-		listen     = flag.String("listen", "", "serve /metrics and /debug/trace on this address (e.g. :9090); keeps the process alive after the run until interrupted")
-		traceDepth = flag.Int("trace-depth", 256, "per-batch trace ring depth (negative disables tracing)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
-	)
+	var o options
+	flag.StringVar(&o.dataset, "dataset", "SYN-A", "DLR dataset: CR, SYN-A or SYN-B")
+	flag.StringVar(&o.server, "server", "C", "platform: A (4xV100), B (8xV100 DGX-1) or C (8xA100)")
+	flag.Float64Var(&o.scale, "scale", 0.05, "dataset scale multiplier")
+	flag.Float64Var(&o.ratio, "ratio", 0.10, "per-GPU cache ratio")
+	flag.IntVar(&o.clients, "clients", 8, "concurrent closed-loop clients")
+	flag.IntVar(&o.requests, "requests", 100, "requests per client")
+	flag.IntVar(&o.batch, "batch", 16, "inference samples per request")
+	flag.IntVar(&o.maxBatch, "max-batch", 8192, "coalescer flush threshold in pending keys")
+	flag.DurationVar(&o.maxWait, "max-wait", 2*time.Millisecond, "coalescer flush deadline")
+	flag.Uint64Var(&o.seed, "seed", 42, "random seed")
+	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /debug/trace, /debug/timeline, /healthz and /readyz on this address (e.g. :9090); keeps the process alive after the run until interrupted")
+	flag.IntVar(&o.traceDepth, "trace-depth", 256, "per-batch trace ring depth (negative disables tracing)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "record a span timeline and write Chrome trace-event JSON (Perfetto / chrome://tracing) to this file at exit")
+	flag.BoolVar(&o.refresh, "refresh", false, "sample hotness during the run and trigger one §7.2 cache refresh after the client loop")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", err)
 		os.Exit(1)
 	}
-	runErr := run(*dataset, *server, *scale, *ratio, *clients, *requests, *batch, *maxBatch, *maxWait, *seed, *listen, *traceDepth)
+	runErr := run(o)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -85,29 +109,28 @@ func platformByName(name string) (*platform.Platform, error) {
 	return nil, fmt.Errorf("unknown server %q (have A, B, C)", name)
 }
 
-func run(dataset, server string, scale, ratio float64, clients, requests, batch, maxBatch int,
-	maxWait time.Duration, seed uint64, listen string, traceDepth int) error {
-	spec, err := specByName(dataset)
+func run(o options) error {
+	spec, err := specByName(o.dataset)
 	if err != nil {
 		return err
 	}
-	p, err := platformByName(server)
+	p, err := platformByName(o.server)
 	if err != nil {
 		return err
 	}
-	ds, err := spec.Build(scale, seed)
+	ds, err := spec.Build(o.scale, o.seed)
 	if err != nil {
 		return err
 	}
 	n := ds.NumEntries()
 	fmt.Printf("dataset %s at scale %g: %d tables, %d entries, %d B rows\n",
-		spec.Name, scale, ds.KeysPerSample(), n, ds.MT.MaxEntryBytes())
+		spec.Name, o.scale, ds.KeysPerSample(), n, ds.MT.MaxEntryBytes())
 
 	// Warm hotness from the dataset's own stream, then build the system in
 	// functional mode so lookups return (and verify against) real bytes.
 	var rec [][]int64
 	for i := 0; i < 64; i++ {
-		rec = append(rec, ds.GenBatch(batch*clients))
+		rec = append(rec, ds.GenBatch(o.batch*o.clients))
 	}
 	hot, err := workload.ProfileBatches(n, rec)
 	if err != nil {
@@ -115,65 +138,119 @@ func run(dataset, server string, scale, ratio float64, clients, requests, batch,
 	}
 	// One registry shared across the core (extraction tiers, refresh) and
 	// the serving engine (latency, coalescing); the HTTP handler reads it.
+	// The span recorder, when -trace-out asks for one, is shared the same
+	// way so serve, sim, refresh and solver spans land in one trace.
 	reg := telemetry.NewRegistry(p.N)
+	var tl *timeline.Recorder
+	if o.traceOut != "" {
+		tl = timeline.NewRecorder(p.N, 0)
+	}
+	health := telemetry.NewHealth()
 	t0 := time.Now()
 	sys, err := core.Build(core.Config{
 		Platform:   p,
 		Hotness:    hot,
 		EntryBytes: ds.MT.MaxEntryBytes(),
-		CacheRatio: ratio,
+		CacheRatio: o.ratio,
 		Source:     ds.MT,
 		Telemetry:  reg,
+		Timeline:   tl,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("built %s: cache ratio %g solved and filled in %.2fs\n",
-		p.Name, ratio, time.Since(t0).Seconds())
+		p.Name, o.ratio, time.Since(t0).Seconds())
 
+	var sampler *cache.HotnessSampler
+	if o.refresh {
+		sampler = cache.NewHotnessSampler(n, 1)
+	}
 	srv, err := serve.New(sys, serve.Config{
-		MaxBatchKeys: maxBatch,
-		MaxWait:      maxWait,
+		MaxBatchKeys: o.maxBatch,
+		MaxWait:      o.maxWait,
 		Telemetry:    reg,
-		TraceDepth:   traceDepth,
+		TraceDepth:   o.traceDepth,
+		Sampler:      sampler,
+		Timeline:     tl,
 	})
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
+	health.SetReady(true)
 
-	if listen != "" {
-		ln, err := net.Listen("tcp", listen)
+	// finalize is the single shutdown path, shared by normal completion and
+	// SIGINT/SIGTERM: stop advertising readiness, drain the workers, write
+	// the span timeline, and report the final telemetry snapshot.
+	var finalizeOnce sync.Once
+	finalize := func() {
+		finalizeOnce.Do(func() {
+			health.SetReady(false)
+			srv.Close()
+			if o.traceOut != "" {
+				if err := writeTrace(tl, o.traceOut); err != nil {
+					fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", err)
+				} else {
+					fmt.Printf("timeline:          %d spans -> %s (open in https://ui.perfetto.dev)\n",
+						len(tl.Events()), o.traceOut)
+				}
+			}
+			printFinalSnapshot(reg)
+		})
+	}
+	defer finalize()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Printf("\nreceived %v; flushing\n", s)
+		finalize()
+		os.Exit(0)
+	}()
+
+	if o.listen != "" {
+		ln, err := net.Listen("tcp", o.listen)
 		if err != nil {
 			return fmt.Errorf("telemetry listener: %w", err)
 		}
 		defer ln.Close()
+		handler := telemetry.NewHandler(telemetry.HandlerConfig{
+			Registry: reg,
+			Trace:    srv.Trace(),
+			Timeline: tl,
+			Health:   health,
+		})
 		go func() {
-			if err := http.Serve(ln, telemetry.Handler(reg, srv.Trace())); err != nil {
+			if err := http.Serve(ln, handler); err != nil {
 				// The listener closes on exit; anything else is worth a note.
 				fmt.Fprintf(os.Stderr, "ugache-serve: telemetry server: %v\n", err)
 			}
 		}()
-		fmt.Printf("telemetry:         http://%s/metrics and /debug/trace\n", ln.Addr())
+		fmt.Printf("telemetry:         http://%s/metrics (also /debug/trace, /debug/timeline, /healthz, /readyz)\n", ln.Addr())
 	}
 
 	// Closed loop: each client issues its next request as soon as the
 	// previous one completes, round-robining destination GPUs.
-	latencies := make([][]time.Duration, clients)
+	latencies := make([][]time.Duration, o.clients)
 	var simSum float64
 	var simMu sync.Mutex
 	var wg sync.WaitGroup
 	start := time.Now()
-	errCh := make(chan error, clients)
-	for c := 0; c < clients; c++ {
+	errCh := make(chan error, o.clients)
+	for c := 0; c < o.clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			r := rng.New(seed).Split(fmt.Sprintf("client%d", c))
-			lats := make([]time.Duration, 0, requests)
+			r := rng.New(o.seed).Split(fmt.Sprintf("client%d", c))
+			lats := make([]time.Duration, 0, o.requests)
 			var localSim float64
-			for i := 0; i < requests; i++ {
-				keys := ds.GenBatchWith(r, batch)
+			for i := 0; i < o.requests; i++ {
+				keys := ds.GenBatchWith(r, o.batch)
 				reqStart := time.Now()
 				res, err := srv.Lookup((c+i)%p.N, keys)
 				if err != nil {
@@ -211,14 +288,14 @@ func run(dataset, server string, scale, ratio float64, clients, requests, batch,
 	st := srv.Stats()
 	total := len(all)
 	fmt.Printf("\n%d clients x %d requests (%d samples each) in %.2fs\n",
-		clients, requests, batch, wall.Seconds())
+		o.clients, o.requests, o.batch, wall.Seconds())
 	fmt.Printf("throughput:        %.0f req/s, %.0f keys/s\n",
 		float64(total)/wall.Seconds(), float64(st.RequestedKeys)/wall.Seconds())
 	fmt.Printf("latency:           p50 %v  p99 %v  max %v\n", pct(0.50), pct(0.99), pct(1.0))
 	fmt.Printf("coalescing:        %d batches, %.1f unique keys/batch (%.1f requested)\n",
 		st.Batches, st.MeanBatchKeys(), float64(st.RequestedKeys)/float64(maxI64(st.Batches, 1)))
 	fmt.Printf("simulated extract: %.3f ms/batch mean, %.1f ms total per request stream\n",
-		st.SimSeconds/float64(maxI64(st.Batches, 1))*1e3, simSum/float64(maxI64(int64(clients), 1))*1e3)
+		st.SimSeconds/float64(maxI64(st.Batches, 1))*1e3, simSum/float64(maxI64(int64(o.clients), 1))*1e3)
 
 	// Per-tier hit split from the shared registry (local / peer / host).
 	tier := func(name string) float64 {
@@ -236,13 +313,63 @@ func run(dataset, server string, scale, ratio float64, clients, requests, batch,
 			100*local/sum, 100*remote/sum, 100*host/sum, st.UniqueKeys)
 	}
 
-	if listen != "" {
-		fmt.Printf("\nrun complete; telemetry still live on %s — Ctrl-C to exit\n", listen)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+	// One §7.2 refresh against the hotness measured during the run, so the
+	// control tracks (solver + refresh steps) appear in the timeline.
+	if o.refresh {
+		measured, err := sampler.Hotness()
+		if err != nil {
+			return fmt.Errorf("refresh: %w", err)
+		}
+		baseIter := st.SimSeconds / float64(maxI64(st.Batches, 1))
+		if baseIter <= 0 {
+			baseIter = 1e-3
+		}
+		rt0 := time.Now()
+		rep, err := sys.Refresh(measured, baseIter, cache.DefaultRefreshConfig())
+		if err != nil {
+			return fmt.Errorf("refresh: %w", err)
+		}
+		fmt.Printf("refresh:           %d evicted, %d inserted in %.1fs simulated (%.1f%% mean impact, solved in %.2fs wall)\n",
+			rep.EvictedEntries, rep.InsertedEntries, rep.Duration, 100*rep.MeanImpact, time.Since(rt0).Seconds())
+	}
+
+	if o.listen != "" {
+		fmt.Printf("\nrun complete; telemetry still live on %s — Ctrl-C to exit\n", o.listen)
+		select {} // the signal goroutine finalizes and exits the process
 	}
 	return nil
+}
+
+// writeTrace exports the recorder to path.
+func writeTrace(tl *timeline.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := tl.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return nil
+}
+
+// printFinalSnapshot reports the closing telemetry state: the cumulative
+// totals plus any per-link peak-utilization gauges the run produced.
+func printFinalSnapshot(reg *telemetry.Registry) {
+	fmt.Printf("\nfinal telemetry snapshot:\n")
+	for _, s := range reg.Samples() {
+		switch {
+		case s.Name == "serve_requests_total" || s.Name == "serve_batches_total" ||
+			s.Name == "serve_unique_keys_total" || s.Name == "cache_refresh_total" ||
+			s.Name == "core_extract_total":
+			fmt.Printf("  %-42s %.0f\n", s.Name, s.Value)
+		case strings.HasPrefix(s.Name, "sim_link_peak_util") && s.Value > 0:
+			fmt.Printf("  %-42s %.3f\n", s.Name, s.Value)
+		}
+	}
 }
 
 func maxI64(a, b int64) int64 {

@@ -5,13 +5,16 @@
 //
 //	ugache-trace -gen trace.bin -dataset SYN-A -batches 64 -batch 8192
 //	ugache-trace -info trace.bin
+//	ugache-trace -check-timeline trace.json   # validate a span timeline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
@@ -19,6 +22,7 @@ func main() {
 	var (
 		gen     = flag.String("gen", "", "write a trace to this file")
 		info    = flag.String("info", "", "print a trace's summary")
+		checkTL = flag.String("check-timeline", "", "validate a Chrome trace-event JSON file written by -trace-out / /debug/timeline")
 		dataset = flag.String("dataset", "SYN-A", "CR, SYN-A, or SYN-B")
 		scale   = flag.Float64("scale", 0.25, "dataset scale")
 		batches = flag.Int("batches", 64, "number of batches")
@@ -81,6 +85,34 @@ func main() {
 		for _, frac := range []float64{0.001, 0.01, 0.1} {
 			fmt.Printf("  top %5.1f%% of entries cover %5.1f%% of accesses\n",
 				frac*100, hot.TopShare(frac)*100)
+		}
+
+	case *checkTL != "":
+		f, err := os.Open(*checkTL)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		rep, err := timeline.Validate(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("%s: valid Chrome trace, %d events\n", *checkTL, rep.Events)
+		phases := make([]string, 0, len(rep.ByPhase))
+		for ph := range rep.ByPhase {
+			phases = append(phases, ph)
+		}
+		sort.Strings(phases)
+		for _, ph := range phases {
+			fmt.Printf("  phase %q: %d\n", ph, rep.ByPhase[ph])
+		}
+		names := make([]string, 0, len(rep.Names))
+		for name := range rep.Names {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-34s %d\n", name, rep.Names[name])
 		}
 
 	default:

@@ -18,6 +18,7 @@ import (
 	"ugache/internal/graph"
 	"ugache/internal/platform"
 	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
@@ -42,6 +43,10 @@ type Options struct {
 	// experiment builds so the caller can render the accumulated samples
 	// after the run. Nil (the default) leaves instrumentation disabled.
 	Telemetry *telemetry.Registry
+	// Timeline, when non-nil, is threaded alongside Telemetry into the
+	// instrumented core systems so refresh and solver spans land in a
+	// Chrome trace (cmd/ugache-bench -timeline).
+	Timeline *timeline.Recorder
 }
 
 func (o Options) normalize() Options {

@@ -178,6 +178,7 @@ func figure17(o Options) (*Result, error) {
 		EntryBytes:         ds.MT.MaxEntryBytes(),
 		CacheEntriesPerGPU: maxI64b(capacity, 1),
 		Telemetry:          o.Telemetry,
+		Timeline:           o.Timeline,
 	})
 	if err != nil {
 		return nil, err

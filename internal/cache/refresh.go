@@ -8,6 +8,7 @@ import (
 	"ugache/internal/hashtable"
 	"ugache/internal/solver"
 	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
@@ -43,6 +44,94 @@ func (s *System) SetTelemetry(reg *telemetry.Registry) {
 		evicted:       reg.Gauge("cache_refresh_last_evicted_entries", "entries evicted by the last refresh"),
 		inserted:      reg.Gauge("cache_refresh_last_inserted_entries", "entries inserted by the last refresh"),
 	})
+}
+
+// SetTimeline attaches a timeline recorder; every later Refresh emits its
+// Fig.-17 span timeline (parent refresh span, solve child, per-update-step
+// spans) on the control track. Pass nil to detach.
+func (s *System) SetTimeline(rec *timeline.Recorder) {
+	if rec == nil {
+		s.refreshTL.Store(nil)
+		return
+	}
+	s.refreshTL.Store(rec)
+}
+
+// maxRefreshStepSpans caps the number of per-update-step spans one refresh
+// emits so a huge diff cannot flood the span ring; the refresh span's
+// update_steps arg always carries the true total.
+const maxRefreshStepSpans = 128
+
+// emitTimeline renders one refresh report as spans: the whole refresh is
+// anchored at its wall-clock start and laid out in simulated time — a parent
+// "refresh" span covering trigger-to-completion, a "refresh-solve" child for
+// the background solve phase, and one "refresh-update-step" span per
+// small-batch update step (busy time only; the pauses between steps show as
+// gaps, exactly the Fig. 17 duty cycle).
+func emitTimeline(rec *timeline.Recorder, wallStart float64, rep *RefreshReport, perStep, remStep, pause float64, fullSteps int64) {
+	sh := rec.Shard(0)
+	root := timeline.Event{
+		Name:  "refresh",
+		Cat:   "refresh",
+		Ph:    timeline.PhSpan,
+		PID:   timeline.ProcControl,
+		TID:   timeline.TIDRefresh,
+		Start: wallStart,
+		Dur:   rep.Duration,
+	}
+	root.AddArg("evicted_entries", float64(rep.EvictedEntries))
+	root.AddArg("inserted_entries", float64(rep.InsertedEntries))
+	root.AddArg("mean_impact", rep.MeanImpact)
+	root.AddArg("solve_seconds", rep.SolveSeconds)
+	root.AddArg("update_seconds", rep.UpdateSeconds)
+	steps := fullSteps
+	if remStep > 0 {
+		steps++
+	}
+	root.AddArg("update_steps", float64(steps))
+	sh.Emit(&root)
+
+	solve := timeline.Event{
+		Name:  "refresh-solve",
+		Cat:   "refresh",
+		Ph:    timeline.PhSpan,
+		PID:   timeline.ProcControl,
+		TID:   timeline.TIDRefresh,
+		Start: wallStart,
+		Dur:   rep.SolveSeconds,
+	}
+	sh.Emit(&solve)
+
+	stepLen := perStep + pause
+	for i := int64(0); i < steps && i < maxRefreshStepSpans; i++ {
+		busy := perStep
+		if i >= fullSteps {
+			busy = remStep
+		}
+		ev := timeline.Event{
+			Name:  "refresh-update-step",
+			Cat:   "refresh",
+			Ph:    timeline.PhSpan,
+			PID:   timeline.ProcControl,
+			TID:   timeline.TIDRefresh,
+			Start: wallStart + rep.SolveSeconds + float64(i)*stepLen,
+			Dur:   busy,
+		}
+		ev.AddArg("step", float64(i))
+		sh.Emit(&ev)
+	}
+	if steps > maxRefreshStepSpans {
+		ev := timeline.Event{
+			Name:  "refresh-update-steps-truncated",
+			Cat:   "refresh",
+			Ph:    timeline.PhInstant,
+			PID:   timeline.ProcControl,
+			TID:   timeline.TIDRefresh,
+			Start: wallStart + rep.SolveSeconds + float64(maxRefreshStepSpans)*stepLen,
+		}
+		ev.AddArg("omitted_steps", float64(steps-maxRefreshStepSpans))
+		sh.Emit(&ev)
+	}
 }
 
 // publish pushes one refresh report into the gauges.
@@ -255,6 +344,11 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 		m.active.Set(1)
 		defer m.active.Set(0)
 	}
+	tl := s.refreshTL.Load()
+	wallStart := 0.0
+	if tl != nil {
+		wallStart = tl.Now()
+	}
 	old := s.snap.Load()
 	if newPl.NumGPUs != s.P.N || newPl.NumEntries() != old.placement.NumEntries() {
 		return nil, fmt.Errorf("cache: new placement shape mismatch")
@@ -370,6 +464,9 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 	s.snap.Store(next)
 	if m := s.refreshMet.Load(); m != nil {
 		m.publish(rep)
+	}
+	if tl != nil {
+		emitTimeline(tl, wallStart, rep, perStep, remStep, cfg.PauseSeconds, fullSteps)
 	}
 	return rep, nil
 }

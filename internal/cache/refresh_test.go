@@ -8,6 +8,7 @@ import (
 	"ugache/internal/platform"
 	"ugache/internal/solver"
 	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
@@ -189,5 +190,96 @@ func TestHotnessSamplerEvery(t *testing.T) {
 	}
 	if h[1] != 1 || h[2] != 0.5 || h[3] != 0 {
 		t.Fatalf("hotness %v", h[:4])
+	}
+}
+
+// TestRefreshTimelineSpans checks SetTimeline renders a refresh as the
+// Fig.-17 span layout: one parent refresh span, one solve child starting
+// with it, and per-update-step spans whose busy time tiles the update phase
+// with pause gaps.
+func TestRefreshTimelineSpans(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 2000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := timeline.NewRecorder(1, 1024)
+	sys.SetTimeline(rec)
+
+	h2 := make(workload.Hotness, 2000)
+	for i := range h2 {
+		h2[i] = in.Hotness[2000-1-i]
+	}
+	in2 := *in
+	in2.Hotness = h2
+	pl2, err := (solver.UGache{}).Solve(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 200
+	cfg.UpdateBandwidth = 1e6
+	rep, err := sys.Refresh(pl2, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var root, solve *timeline.Event
+	var steps []timeline.Event
+	for _, ev := range rec.Events() {
+		if ev.PID != timeline.ProcControl || ev.TID != timeline.TIDRefresh {
+			t.Fatalf("refresh span on wrong track: pid %d tid %d", ev.PID, ev.TID)
+		}
+		ev := ev
+		switch ev.Name {
+		case "refresh":
+			root = &ev
+		case "refresh-solve":
+			solve = &ev
+		case "refresh-update-step":
+			steps = append(steps, ev)
+		}
+	}
+	if root == nil || solve == nil {
+		t.Fatal("missing refresh or refresh-solve span")
+	}
+	if math.Abs(root.Dur-rep.Duration) > 1e-9 || math.Abs(solve.Dur-rep.SolveSeconds) > 1e-9 {
+		t.Fatalf("durations: refresh %g (want %g), solve %g (want %g)",
+			root.Dur, rep.Duration, solve.Dur, rep.SolveSeconds)
+	}
+	if solve.Start != root.Start {
+		t.Fatalf("solve starts at %g, refresh at %g", solve.Start, root.Start)
+	}
+	moved := rep.EvictedEntries + rep.InsertedEntries
+	wantSteps := int(moved / cfg.BatchEntries)
+	if moved%cfg.BatchEntries != 0 {
+		wantSteps++
+	}
+	if wantSteps > maxRefreshStepSpans {
+		wantSteps = maxRefreshStepSpans
+	}
+	if len(steps) != wantSteps {
+		t.Fatalf("%d update-step spans, want %d (moved %d)", len(steps), wantSteps, moved)
+	}
+	for i, st := range steps {
+		if st.Start < root.Start+rep.SolveSeconds-1e-9 {
+			t.Fatalf("step %d starts at %g inside the solve phase", i, st.Start)
+		}
+		if st.Start+st.Dur > root.Start+root.Dur+1e-9 {
+			t.Fatalf("step %d ends at %g past refresh end %g", i, st.Start+st.Dur, root.Start+root.Dur)
+		}
+		if i > 0 && st.Start < steps[i-1].Start+steps[i-1].Dur {
+			t.Fatalf("step %d overlaps step %d", i, i-1)
+		}
+	}
+	// Detach: no further spans recorded.
+	sys.SetTimeline(nil)
+	before := len(rec.Events())
+	if _, err := sys.Refresh(pl, 0.001, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Events()); got != before {
+		t.Fatalf("detached recorder gained %d events", got-before)
 	}
 }

@@ -18,14 +18,18 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ugache/internal/cache"
 	"ugache/internal/extract"
 	"ugache/internal/platform"
+	"ugache/internal/sim"
 	"ugache/internal/solver"
 	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
@@ -64,6 +68,13 @@ type Config struct {
 	// instrumentation entirely — the no-op fast path is a single nil
 	// check per extraction.
 	Telemetry *telemetry.Registry
+	// Timeline, when non-nil, receives span-level traces from the slow
+	// control paths: Refresh emits a solver span (with the placement's
+	// replication-vs-partition storage summary as args) and the cache layer
+	// emits the Fig.-17-style per-step refresh timeline. Extractions made
+	// with a phase-recording Scratch additionally publish per-link peak
+	// utilization gauges into Telemetry. Nil disables all of it.
+	Timeline *timeline.Recorder
 }
 
 // engineState is the immutable placement-derived state one extraction or
@@ -90,6 +101,9 @@ type System struct {
 	// met is nil unless Config.Telemetry was set; every extraction then
 	// reports its per-tier split through lock-free shard updates.
 	met *extractMetrics
+	// tl is nil unless Config.Timeline was set; Refresh then emits solver
+	// spans into it (the cache layer emits its own refresh-step spans).
+	tl *timeline.Recorder
 }
 
 // extractMetrics splits the modelled extraction work by source tier — the
@@ -102,6 +116,12 @@ type extractMetrics struct {
 	tierKeys   [3]*telemetry.Counter      // local, remote, host
 	tierSecs   [3]*telemetry.FloatCounter // local, remote, host
 	tpb        [][]float64                // TimePerByteTable (Path allocates; this is the hot path)
+
+	// linkUtil[l] is link l's last-run peak utilization gauge, fed from
+	// extractions that carried a fluid-sim phase log (tracing on); linkCap
+	// caches capacities so the update path never touches the topology.
+	linkUtil []*telemetry.Gauge
+	linkCap  []float64
 }
 
 const (
@@ -125,7 +145,43 @@ func newExtractMetrics(reg *telemetry.Registry, p *platform.Platform) *extractMe
 			tierRemote: reg.FloatCounter("core_extract_remote_seconds_total", "modelled seconds moving remote-tier bytes"),
 			tierHost:   reg.FloatCounter("core_extract_host_seconds_total", "modelled seconds moving host-tier bytes"),
 		},
+		linkUtil: linkUtilGauges(reg, p),
+		linkCap:  linkCapacities(p),
 	}
+}
+
+// linkUtilGauges registers one saturation gauge per topology link:
+// sim_link_peak_util_<name> is the peak utilization the link reached during
+// the most recent phase-logged extraction (Fig. 6's congestion view,
+// reduced to its headline number). Registration happens once at Build.
+func linkUtilGauges(reg *telemetry.Registry, p *platform.Platform) []*telemetry.Gauge {
+	out := make([]*telemetry.Gauge, len(p.Topo.Links))
+	for l, link := range p.Topo.Links {
+		out[l] = reg.Gauge("sim_link_peak_util_"+sanitizeMetricName(link.Name),
+			"peak utilization of "+link.Name+" in the last phase-logged extraction")
+	}
+	return out
+}
+
+func linkCapacities(p *platform.Platform) []float64 {
+	out := make([]float64, len(p.Topo.Links))
+	for l, link := range p.Topo.Links {
+		out[l] = link.Capacity
+	}
+	return out
+}
+
+// sanitizeMetricName maps a topology link name onto the Prometheus metric
+// charset ([a-zA-Z0-9_]).
+func sanitizeMetricName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 // observeExtract records one extraction result: the makespan plus, per
@@ -161,6 +217,26 @@ func (s *System) observeExtract(res *extract.Result) {
 	}
 	m.batches.Add(shard, 1)
 	m.simSeconds.Add(shard, res.Time)
+
+	// Saturation gauges: with a phase log present (tracing on), publish each
+	// link's peak phase utilization. Gauge stores are single atomics, so
+	// this adds no allocation to the instrumented path.
+	if res.Phases != nil {
+		log := res.Phases
+		for l, g := range m.linkUtil {
+			capacity := m.linkCap[l]
+			if capacity <= 0 {
+				continue
+			}
+			peak := 0.0
+			for p := 0; p < log.Phases(); p++ {
+				if r := log.RateAt(p, sim.LinkID(l)); r > peak {
+					peak = r
+				}
+			}
+			g.Set(peak / capacity)
+		}
+	}
 }
 
 // Build solves the policy and fills the caches.
@@ -239,8 +315,40 @@ func Build(cfg Config) (*System, error) {
 		s.met = newExtractMetrics(cfg.Telemetry, cfg.Platform)
 		cs.SetTelemetry(cfg.Telemetry)
 	}
+	if cfg.Timeline != nil {
+		s.tl = cfg.Timeline
+		cs.SetTimeline(cfg.Timeline)
+		cfg.Timeline.SetProcessName(timeline.ProcControl, "control")
+		cfg.Timeline.SetThreadName(timeline.ProcControl, timeline.TIDRefresh, "cache refresh")
+		cfg.Timeline.SetThreadName(timeline.ProcControl, timeline.TIDSolver, "policy solver")
+	}
 	s.state.Store(&engineState{placement: pl, extractor: ex, input: in})
 	return s, nil
+}
+
+// emitSolveSpan records one policy solve on the control track: wall-clock
+// duration plus the solved placement's replication-vs-partition storage
+// summary (the §6.2 decision the solver introspection is after).
+func (s *System) emitSolveSpan(start time.Time, wallSeconds float64, pl *solver.Placement) {
+	if s.tl == nil {
+		return
+	}
+	sum := pl.StorageSummary()
+	ev := timeline.Event{
+		Name: "policy-solve", Cat: "solver", Ph: timeline.PhSpan,
+		PID: timeline.ProcControl, TID: timeline.TIDSolver,
+		Start: s.tl.Since(start), Dur: wallSeconds,
+	}
+	ev.AddArg("blocks", float64(len(pl.Blocks)))
+	ev.AddArg("replicated_blocks", float64(sum.ReplicatedBlocks))
+	ev.AddArg("partial_blocks", float64(sum.PartialBlocks))
+	ev.AddArg("partitioned_blocks", float64(sum.PartitionedBlocks))
+	ev.AddArg("uncached_blocks", float64(sum.UncachedBlocks))
+	ev.AddArg("replicated_mass", sum.ReplicatedMass)
+	ev.AddArg("partitioned_mass", sum.PartitionedMass)
+	ev.AddArg("uncached_mass", sum.UncachedMass)
+	ev.AddArg("est_time_max", maxOf(pl.EstTimes))
+	s.tl.Shard(0).Emit(&ev)
 }
 
 // Telemetry reports whether the system was built with a telemetry registry.
@@ -307,6 +415,7 @@ func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg 
 	}
 	in := old.input
 	in.Hotness = newHotness
+	solveStart := time.Now()
 	pl, err := s.policy.Solve(&in)
 	if err != nil {
 		return nil, err
@@ -314,6 +423,7 @@ func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg 
 	if err := pl.Validate(&in); err != nil {
 		return nil, err
 	}
+	s.emitSolveSpan(solveStart, time.Since(solveStart).Seconds(), pl)
 	// Build every fallible piece before touching shared state, so a failed
 	// refresh leaves the old placement, caches and extractor paired.
 	ex, err := extract.New(s.P, pl)

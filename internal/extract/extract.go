@@ -88,6 +88,12 @@ type Result struct {
 	// Stalled is the average fraction of core-time lost to congestion in
 	// PeerRandom (0 for the other mechanisms).
 	Stalled float64
+	// Phases is the fluid simulation's per-phase per-link rate history,
+	// available for the Factored/FactoredStatic mechanisms when the run used
+	// a Scratch with phase recording enabled (Scratch.RecordPhases); nil
+	// otherwise. It aliases the scratch and is valid only until the
+	// scratch's next use.
+	Phases *sim.PhaseLog
 }
 
 // Utilization returns the average utilization of the given links over the
@@ -249,6 +255,7 @@ func (e *Extractor) runFactored(vol [][]float64, sc *Scratch) (*Result, error) {
 		Time:      res.Makespan,
 		LinkBytes: res.LinkBytes,
 		SrcBytes:  vol,
+		Phases:    res.Phases,
 	}
 	if sc != nil {
 		out.PerGPU = sc.perGPUSlice(e.P.N)
@@ -511,6 +518,7 @@ func (e *Extractor) runFactoredStatic(vol [][]float64, sc *Scratch) (*Result, er
 		Time:      res.Makespan,
 		LinkBytes: res.LinkBytes,
 		SrcBytes:  vol,
+		Phases:    res.Phases,
 	}
 	if sc != nil {
 		out.PerGPU = sc.perGPUSlice(e.P.N)

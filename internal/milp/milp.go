@@ -20,6 +20,27 @@ type Options struct {
 	// RelGap stops the search once (incumbent - bound)/|incumbent| is below
 	// this value (0 = prove optimality).
 	RelGap float64
+	// OnProgress, when non-nil, is called from the search goroutine at every
+	// new incumbent and once at termination, so callers can render the
+	// incumbent/bound convergence as a timeline. It must be fast and must
+	// not retain the Progress value's address.
+	OnProgress func(Progress)
+}
+
+// Progress is one observation of the branch-and-bound search state.
+type Progress struct {
+	// Nodes explored so far.
+	Nodes int
+	// Incumbent is the best integral objective found (+Inf before the
+	// first incumbent).
+	Incumbent float64
+	// Bound is the proven global lower bound (the root relaxation until the
+	// tree is exhausted).
+	Bound float64
+	// Gap is (Incumbent-Bound)/|Incumbent|, or +Inf with no incumbent.
+	Gap float64
+	// Final marks the terminating callback.
+	Final bool
 }
 
 // Solution is a MILP result.
@@ -58,6 +79,9 @@ func Solve(p *lp.Problem, integers []int, opt Options) (*Solution, error) {
 		return nil, err
 	}
 	if root.Status != lp.Optimal {
+		if opt.OnProgress != nil {
+			opt.OnProgress(progressAt(0, math.Inf(1), 0, true))
+		}
 		return &Solution{Status: root.Status, Complete: true}, nil
 	}
 
@@ -102,6 +126,9 @@ func Solve(p *lp.Problem, integers []int, opt Options) (*Solution, error) {
 			// Integral: new incumbent.
 			best = &Solution{Status: lp.Optimal, Objective: sol.Objective,
 				X: append([]float64(nil), sol.X...)}
+			if opt.OnProgress != nil {
+				opt.OnProgress(progressAt(nodes, best.Objective, globalBound, false))
+			}
 			if opt.RelGap > 0 && gapOK(best.Objective, globalBound, opt.RelGap) {
 				break
 			}
@@ -132,7 +159,27 @@ func Solve(p *lp.Problem, integers []int, opt Options) (*Solution, error) {
 	} else if best.Complete {
 		best.Status = lp.Infeasible
 	}
+	if opt.OnProgress != nil {
+		inc := math.Inf(1)
+		if best.Status == lp.Optimal {
+			inc = best.Objective
+		}
+		opt.OnProgress(progressAt(nodes, inc, best.Bound, true))
+	}
 	return best, nil
+}
+
+// progressAt packages one search observation.
+func progressAt(nodes int, incumbent, bound float64, final bool) Progress {
+	gap := math.Inf(1)
+	if !math.IsInf(incumbent, 1) {
+		if incumbent == 0 {
+			gap = math.Abs(bound)
+		} else {
+			gap = (incumbent - bound) / math.Abs(incumbent)
+		}
+	}
+	return Progress{Nodes: nodes, Incumbent: incumbent, Bound: bound, Gap: gap, Final: final}
 }
 
 func gapOK(incumbent, bound, relGap float64) bool {

@@ -191,3 +191,64 @@ func TestBoundReported(t *testing.T) {
 		t.Fatalf("bound %g vs obj %g", s.Bound, s.Objective)
 	}
 }
+
+func TestOnProgress(t *testing.T) {
+	// Knapsack again, watching the search converge.
+	p, _ := lp.NewProblem(3, []float64{-5, -4, -3})
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 2}, {Var: 1, Value: 3}, {Var: 2, Value: 1}}, lp.LE, 5)
+	for v := 0; v < 3; v++ {
+		p.AddConstraint([]lp.Coef{{Var: v, Value: 1}}, lp.LE, 1)
+	}
+	var seen []Progress
+	s, err := Solve(p, []int{0, 1, 2}, Options{OnProgress: func(pr Progress) { seen = append(seen, pr) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 2 {
+		t.Fatalf("want >= 2 progress callbacks (incumbent + final), got %d", len(seen))
+	}
+	last := seen[len(seen)-1]
+	if !last.Final {
+		t.Fatalf("last callback not final: %+v", last)
+	}
+	if last.Incumbent != s.Objective || last.Bound != s.Bound {
+		t.Fatalf("final progress %+v does not match solution obj %g bound %g", last, s.Objective, s.Bound)
+	}
+	if last.Gap > 1e-9 {
+		t.Fatalf("completed search should have zero gap, got %g", last.Gap)
+	}
+	prevNodes, prevInc := 0, math.Inf(1)
+	for i, pr := range seen[:len(seen)-1] {
+		if pr.Final {
+			t.Fatalf("non-last callback %d marked final", i)
+		}
+		if pr.Nodes < prevNodes {
+			t.Fatalf("nodes went backwards at callback %d: %d -> %d", i, prevNodes, pr.Nodes)
+		}
+		if pr.Incumbent > prevInc+1e-12 {
+			t.Fatalf("incumbent worsened at callback %d: %g -> %g", i, prevInc, pr.Incumbent)
+		}
+		if pr.Incumbent < pr.Bound-1e-9 {
+			t.Fatalf("incumbent %g below bound %g at callback %d", pr.Incumbent, pr.Bound, i)
+		}
+		prevNodes, prevInc = pr.Nodes, pr.Incumbent
+	}
+}
+
+func TestOnProgressInfeasible(t *testing.T) {
+	// x >= 2 and x <= 1: infeasible; final callback still fires, with no
+	// incumbent.
+	p, _ := lp.NewProblem(1, []float64{1})
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}}, lp.GE, 2)
+	p.AddConstraint([]lp.Coef{{Var: 0, Value: 1}}, lp.LE, 1)
+	var seen []Progress
+	if _, err := Solve(p, []int{0}, Options{OnProgress: func(pr Progress) { seen = append(seen, pr) }}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || !seen[0].Final {
+		t.Fatalf("want exactly one final callback, got %+v", seen)
+	}
+	if !math.IsInf(seen[0].Incumbent, 1) || !math.IsInf(seen[0].Gap, 1) {
+		t.Fatalf("infeasible progress should carry +Inf incumbent/gap: %+v", seen[0])
+	}
+}

@@ -29,7 +29,9 @@ import (
 	"ugache/internal/core"
 	"ugache/internal/extract"
 	"ugache/internal/hashtable"
+	"ugache/internal/sim"
 	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 )
 
 // ErrClosed is returned by requests that reach a closed (or closing)
@@ -63,6 +65,12 @@ type Config struct {
 	// for §7.2 hotness re-estimation. Worker g feeds the sampler's shard g,
 	// so one sampler may serve all workers concurrently.
 	Sampler *cache.HotnessSampler
+	// Timeline, when non-nil, records every flushed batch as a span tree on
+	// the serve track (queue-wait → coalesce → extract → gather → reply)
+	// and, for TraceEvery-sampled batches, the extraction's fluid-sim phases
+	// as per-link utilization spans (DESIGN.md §6.3). Worker g emits into
+	// the recorder's shard g. Nil disables tracing behind one pointer check.
+	Timeline *timeline.Recorder
 }
 
 func (c Config) normalize() Config {
@@ -187,6 +195,9 @@ type Server struct {
 	ring    *telemetry.TraceRing
 	sampler *cache.HotnessSampler
 	tpb     [][]float64 // platform.TimePerByteTable, for alloc-free trace records
+
+	tl      *timeline.Recorder
+	linkCap []float64 // topology link capacities, for utilization span args
 }
 
 // New starts the serving engine for a built system.
@@ -213,6 +224,22 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	if cfg.TraceDepth > 0 {
 		s.ring = telemetry.NewTraceRing(cfg.TraceDepth)
 		s.tpb = sys.P.TimePerByteTable()
+	}
+	if cfg.Timeline != nil {
+		// Register the serve and fluid-sim track names once at wiring time;
+		// the fmt output here is the interned-string source the hot path
+		// reuses (Event names themselves are package literals).
+		s.tl = cfg.Timeline
+		s.tl.SetProcessName(timeline.ProcServe, "serve")
+		for g := 0; g < sys.P.N; g++ {
+			s.tl.SetThreadName(timeline.ProcServe, int32(g), fmt.Sprintf("gpu %d worker", g))
+		}
+		s.tl.SetProcessName(timeline.ProcSim, "fluid-sim links")
+		s.linkCap = make([]float64, len(sys.P.Topo.Links))
+		for l, link := range sys.P.Topo.Links {
+			s.tl.SetThreadName(timeline.ProcSim, int32(l), link.Name)
+			s.linkCap[l] = link.Capacity
+		}
 	}
 	for g := range s.queues {
 		s.queues[g] = make(chan *request, s.cfg.QueueDepth)
@@ -307,14 +334,20 @@ type workerScratch struct {
 	rows  []byte
 	core  *core.Scratch
 	seq   int64 // batches flushed by this worker (trace sampling)
+	span  *timeline.Shard
 }
 
-func (s *Server) newWorkerScratch() *workerScratch {
-	return &workerScratch{
+func (s *Server) newWorkerScratch(g int) *workerScratch {
+	sc := &workerScratch{
 		dedup: hashtable.NewDedup(s.cfg.MaxBatchKeys),
 		batch: extract.Batch{Keys: make([][]int64, s.sys.P.N)},
 		core:  core.NewScratch(),
 	}
+	if s.tl != nil {
+		sc.span = s.tl.Shard(g)
+		sc.core.RecordSimPhases(true)
+	}
+	return sc
 }
 
 // worker is GPU g's coalescing loop: wait for one request, then keep
@@ -322,7 +355,7 @@ func (s *Server) newWorkerScratch() *workerScratch {
 func (s *Server) worker(g int) {
 	defer s.wg.Done()
 	q := s.queues[g]
-	sc := s.newWorkerScratch()
+	sc := s.newWorkerScratch(g)
 	timer := time.NewTimer(s.cfg.MaxWait)
 	defer timer.Stop()
 	for {
@@ -383,6 +416,13 @@ func (s *Server) drain(g int, q chan *request, sc *workerScratch) {
 // handed to the callers (see Result.Rows). The telemetry updates are
 // lock-free shard writes and one preallocated trace-ring copy.
 func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason telemetry.FillReason, queueWait time.Duration) {
+	// Wall-clock checkpoints for the span tree; only taken when tracing is
+	// on (sc.span is nil otherwise, and the clock reads cost nothing).
+	var ft flushTimes
+	if sc.span != nil {
+		ft.enqueue = s.tl.Since(batch[0].enqueued)
+		ft.dequeue = ft.enqueue + queueWait.Seconds()
+	}
 	// Dedupe across requests with the generation-stamped open-addressing
 	// table, remembering each unique key's row index.
 	requested := 0
@@ -403,15 +443,24 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 	// One simulated extraction for the whole coalesced batch. The result
 	// aliases sc.core, so pull out the scalars we need before reusing it.
 	sc.batch.Keys[g] = uniq
+	if sc.span != nil {
+		ft.extractStart = s.tl.Now()
+	}
 	res, err := s.sys.ExtractBatchWith(&sc.batch, sc.core)
 	sc.batch.Keys[g] = nil
 	if err != nil {
 		s.fail(batch, err)
 		return
 	}
+	if sc.span != nil {
+		ft.extractEnd = s.tl.Now()
+		ft.gatherEnd = ft.extractEnd
+	}
 	simTime := res.Time
+	phases := res.Phases
 	sc.seq++
-	if s.ring != nil && sc.seq%int64(s.cfg.TraceEvery) == 0 {
+	sampled := sc.seq%int64(s.cfg.TraceEvery) == 0
+	if s.ring != nil && sampled {
 		s.recordTrace(g, sc.seq, batch, res, requested, len(uniq), reason, queueWait, simTime)
 	}
 
@@ -433,6 +482,9 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 		if err := s.sys.LookupWith(g, uniq, rows, sc.core); err != nil {
 			s.fail(batch, err)
 			return
+		}
+		if sc.span != nil {
+			ft.gatherEnd = s.tl.Now()
 		}
 	}
 
@@ -466,6 +518,74 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 	m.simSeconds.Add(g, simTime)
 	m.fill[reason].Add(g, 1)
 	m.queueWait.Observe(g, queueWait.Seconds())
+
+	if sc.span != nil {
+		ft.replyEnd = s.tl.Now()
+		s.emitFlushSpans(g, sc, &ft, len(batch), requested, len(uniq), reason, simTime, phases, sampled)
+	}
+}
+
+// flushTimes are one traced flush's wall-clock checkpoints, in seconds since
+// the recorder epoch. gatherEnd equals extractEnd in timing-only mode.
+type flushTimes struct {
+	enqueue, dequeue, extractStart, extractEnd, gatherEnd, replyEnd float64
+}
+
+// emitFlushSpans renders one flushed batch as its span tree on the serve
+// track and — for sampled batches whose extraction carried a fluid-sim phase
+// log — the per-link flow spans on the sim track, anchored at the
+// extraction's wall start so the simulated timeline nests visually under the
+// extract span. All names are package literals; nothing here allocates
+// beyond the shard's ring copy.
+func (s *Server) emitFlushSpans(g int, sc *workerScratch, ft *flushTimes,
+	requests, requested, unique int, reason telemetry.FillReason,
+	simTime float64, phases *sim.PhaseLog, sampled bool) {
+	tid := int32(g)
+	root := timeline.Event{Name: "batch", Cat: "serve", Ph: timeline.PhSpan,
+		PID: timeline.ProcServe, TID: tid, Start: ft.enqueue, Dur: ft.replyEnd - ft.enqueue}
+	root.AddArg("requests", float64(requests))
+	root.AddArg("requested_keys", float64(requested))
+	root.AddArg("unique_keys", float64(unique))
+	root.AddArg("sim_seconds", simTime)
+	root.AddArg("fill_reason", float64(reason))
+	sc.span.Emit(&root)
+	child := func(name string, start, end float64) {
+		if end < start {
+			end = start
+		}
+		ev := timeline.Event{Name: name, Cat: "serve", Ph: timeline.PhSpan,
+			PID: timeline.ProcServe, TID: tid, Start: start, Dur: end - start}
+		sc.span.Emit(&ev)
+	}
+	child("queue-wait", ft.enqueue, ft.dequeue)
+	child("coalesce", ft.dequeue, ft.extractStart)
+	child("extract", ft.extractStart, ft.extractEnd)
+	if ft.gatherEnd > ft.extractEnd {
+		child("gather", ft.extractEnd, ft.gatherEnd)
+	}
+	child("reply", ft.gatherEnd, ft.replyEnd)
+
+	if !sampled || phases == nil {
+		return
+	}
+	prev := 0.0
+	for p := 0; p < phases.Phases(); p++ {
+		end := phases.T[p]
+		for l := range s.linkCap {
+			rate := phases.RateAt(p, sim.LinkID(l))
+			if rate <= 0 {
+				continue
+			}
+			ev := timeline.Event{Name: "link-flow", Cat: "sim", Ph: timeline.PhSpan,
+				PID: timeline.ProcSim, TID: int32(l), Start: ft.extractStart + prev, Dur: end - prev}
+			if c := s.linkCap[l]; c > 0 {
+				ev.AddArg("util", rate/c)
+			}
+			ev.AddArg("rate_bytes_per_s", rate)
+			sc.span.Emit(&ev)
+		}
+		prev = end
+	}
 }
 
 // recordTrace snapshots one batch into the trace ring: formation stats plus

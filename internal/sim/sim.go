@@ -75,15 +75,29 @@ type Result struct {
 	// LinkBytes[l] is the total bytes carried by link l; utilization over the
 	// run is LinkBytes[l] / (Capacity[l] * Makespan).
 	LinkBytes []float64
+	// Phases points at the scratch's phase log when the run was made with a
+	// RunScratch whose Record flag is set; nil otherwise. It aliases the
+	// scratch and is valid only until the scratch's next RunWith call.
+	Phases *PhaseLog
 }
 
 // Utilization returns the average utilization of link l over the run, in
-// [0, 1]. It returns 0 if the makespan is zero.
+// [0, 1]. It returns 0 if the makespan is zero or the link has no usable
+// capacity (hand-built topologies may carry zero-capacity placeholder
+// links; dividing through them would report ±Inf/NaN).
 func (r *Result) Utilization(topo *Topology, l LinkID) float64 {
 	if r.Makespan <= 0 {
 		return 0
 	}
-	return r.LinkBytes[l] / (topo.Links[l].Capacity * r.Makespan)
+	den := topo.Links[l].Capacity * r.Makespan
+	if den <= 0 {
+		return 0
+	}
+	u := r.LinkBytes[l] / den
+	if math.IsNaN(u) || math.IsInf(u, 0) {
+		return 0
+	}
+	return u
 }
 
 // ErrStarved reports a demand that can never complete because it has bytes
@@ -102,6 +116,34 @@ type flow struct {
 	frozen bool    // scratch for the allocator
 }
 
+// PhaseLog is the per-phase rate history of one RunWith call: the fluid
+// simulation advances in phases (rates are constant between demand
+// completions), and the log keeps each phase's end time plus the aggregate
+// allocated rate on every link during that phase. This is the information
+// the paper's timeline figures are drawn from (Fig. 6's link-congestion
+// curves) and what internal/timeline renders as per-link utilization
+// tracks. Buffers are reused across runs; a log aliases its RunScratch and
+// is valid only until the scratch's next RunWith call.
+type PhaseLog struct {
+	// T[p] is the end time of phase p in seconds; phase p covers
+	// [T[p-1], T[p]) with T[-1] = 0.
+	T []float64
+	// Rate holds the per-phase per-link aggregate allocated rates in
+	// bytes/s, row-major by phase: Rate[p*Links+l] is link l's total rate
+	// during phase p.
+	Rate []float64
+	// Links is the row stride of Rate (the topology's link count).
+	Links int
+}
+
+// Phases returns the number of recorded phases.
+func (pl *PhaseLog) Phases() int { return len(pl.T) }
+
+// RateAt returns link l's aggregate allocated rate during phase p.
+func (pl *PhaseLog) RateAt(p int, l LinkID) float64 {
+	return pl.Rate[p*pl.Links+int(l)]
+}
+
 // RunScratch holds the reusable working state of RunWith so steady-state
 // simulation runs stop allocating: the flow table, the active list, the
 // allocator's residual/weight buffers, and the result slices. A RunScratch
@@ -115,6 +157,15 @@ type RunScratch struct {
 	weight []float64
 	finish []float64
 	bytes  []float64
+
+	// Record enables phase logging: each RunWith call then resets and
+	// refills Log, and the returned Result points at it. Off (the default)
+	// the only cost is one boolean check per phase, preserving the
+	// BENCH_hotpath.json allocation budget of the tracing-off serving path.
+	Record bool
+	// Log holds the last recorded run's phase history; see PhaseLog for the
+	// aliasing contract.
+	Log PhaseLog
 }
 
 func growF64(buf []float64, n int) []float64 {
@@ -163,6 +214,12 @@ func (t *Topology) RunWith(demands []Demand, sc *RunScratch) (*Result, error) {
 		res.Finish = growF64(sc.finish, len(demands))
 		res.LinkBytes = growF64(sc.bytes, len(t.Links))
 		sc.finish, sc.bytes = res.Finish, res.LinkBytes
+		if sc.Record {
+			sc.Log.T = sc.Log.T[:0]
+			sc.Log.Rate = sc.Log.Rate[:0]
+			sc.Log.Links = len(t.Links)
+			res.Phases = &sc.Log
+		}
 	} else {
 		flows = make([]*flow, len(demands))
 		resid = make([]float64, len(t.Links))
@@ -224,6 +281,34 @@ func (t *Topology) RunWith(demands []Demand, sc *RunScratch) (*Result, error) {
 		if !moving {
 			// Remaining demands have no cores and nothing left to pad them.
 			return nil, ErrStarved
+		}
+
+		// Record this phase's boundary and per-link aggregate rates. The
+		// append stays within capacity at steady state, so recording keeps
+		// the allocation-free discipline once warmed up.
+		if sc != nil && sc.Record {
+			base := len(sc.Log.Rate)
+			need := base + len(t.Links)
+			if cap(sc.Log.Rate) < need {
+				grown := make([]float64, need, 2*need)
+				copy(grown, sc.Log.Rate)
+				sc.Log.Rate = grown
+			} else {
+				sc.Log.Rate = sc.Log.Rate[:need]
+			}
+			row := sc.Log.Rate[base:need]
+			for i := range row {
+				row[i] = 0
+			}
+			for _, f := range active {
+				if f.rate <= 0 {
+					continue
+				}
+				for _, l := range f.path {
+					row[l] += f.rate
+				}
+			}
+			sc.Log.T = append(sc.Log.T, now+dt)
 		}
 
 		// Advance time; account carried bytes per link.

@@ -134,6 +134,65 @@ func (pl *Placement) StoredOn(g int, entry int64) bool {
 	return pl.Blocks[pl.BlockOf(entry)].Store[g]
 }
 
+// StorageSummary classifies a placement's hotness blocks by storage
+// degree — the replication-vs-partition split the UGache solver trades off
+// (§6.2): a block stored on every GPU is replicated (hot head), on exactly
+// one GPU partitioned (warm middle), on several-but-not-all partially
+// replicated, and on none host-resident (cold tail). Mass fields weigh each
+// class by expected accesses per iteration; Entries fields by entry count.
+type StorageSummary struct {
+	ReplicatedBlocks  int
+	PartialBlocks     int
+	PartitionedBlocks int
+	UncachedBlocks    int
+
+	ReplicatedEntries  int64
+	PartialEntries     int64
+	PartitionedEntries int64
+	UncachedEntries    int64
+
+	ReplicatedMass  float64
+	PartialMass     float64
+	PartitionedMass float64
+	UncachedMass    float64
+}
+
+// StorageSummary computes the replication-vs-partition split of the
+// placement's blocks (see StorageSummary). Solver introspection surfaces it
+// as timeline span args so a refresh's placement decisions are inspectable.
+func (pl *Placement) StorageSummary() StorageSummary {
+	var out StorageSummary
+	for bi := range pl.Blocks {
+		b := &pl.Blocks[bi]
+		stored := 0
+		for _, s := range b.Store {
+			if s {
+				stored++
+			}
+		}
+		entries, mass := b.Entries(), b.Mass()
+		switch {
+		case stored == 0:
+			out.UncachedBlocks++
+			out.UncachedEntries += entries
+			out.UncachedMass += mass
+		case stored == 1:
+			out.PartitionedBlocks++
+			out.PartitionedEntries += entries
+			out.PartitionedMass += mass
+		case stored == pl.NumGPUs:
+			out.ReplicatedBlocks++
+			out.ReplicatedEntries += entries
+			out.ReplicatedMass += mass
+		default:
+			out.PartialBlocks++
+			out.PartialEntries += entries
+			out.PartialMass += mass
+		}
+	}
+	return out
+}
+
 // CapacityUsed returns entries cached per GPU.
 func (pl *Placement) CapacityUsed() []int64 {
 	used := make([]int64, pl.NumGPUs)

@@ -515,3 +515,46 @@ func TestGreedyRefinementHelps(t *testing.T) {
 		}
 	}
 }
+
+func TestStorageSummary(t *testing.T) {
+	// Hand-built 2-GPU placement: block 0 replicated, block 1 partitioned,
+	// block 2 uncached. With 2 GPUs a "partial" class cannot exist.
+	pl := &Placement{
+		NumGPUs: 2,
+		Blocks: []Block{
+			{Start: 0, End: 10, HotPerEntry: 2, Store: []bool{true, true}},
+			{Start: 10, End: 30, HotPerEntry: 1, Store: []bool{true, false}},
+			{Start: 30, End: 100, HotPerEntry: 0.1, Store: []bool{false, false}},
+		},
+	}
+	sum := pl.StorageSummary()
+	if sum.ReplicatedBlocks != 1 || sum.PartitionedBlocks != 1 || sum.UncachedBlocks != 1 || sum.PartialBlocks != 0 {
+		t.Fatalf("block classes: %+v", sum)
+	}
+	if sum.ReplicatedEntries != 10 || sum.PartitionedEntries != 20 || sum.UncachedEntries != 70 {
+		t.Fatalf("entry classes: %+v", sum)
+	}
+	if math.Abs(sum.ReplicatedMass-20) > 1e-9 || math.Abs(sum.PartitionedMass-20) > 1e-9 || math.Abs(sum.UncachedMass-7) > 1e-9 {
+		t.Fatalf("mass classes: %+v", sum)
+	}
+
+	// A solved UGache placement must be fully classified: every block in
+	// exactly one class, masses summing to the total hotness mass.
+	in := testInput(t, platform.ServerA(), 50000, 1.1, 0.08)
+	upl := mustSolve(t, UGache{}, in)
+	us := upl.StorageSummary()
+	if got := us.ReplicatedBlocks + us.PartialBlocks + us.PartitionedBlocks + us.UncachedBlocks; got != len(upl.Blocks) {
+		t.Fatalf("classified %d of %d blocks", got, len(upl.Blocks))
+	}
+	if got := us.ReplicatedEntries + us.PartialEntries + us.PartitionedEntries + us.UncachedEntries; got != upl.NumEntries() {
+		t.Fatalf("classified %d of %d entries", got, upl.NumEntries())
+	}
+	totalMass := 0.0
+	for bi := range upl.Blocks {
+		totalMass += upl.Blocks[bi].Mass()
+	}
+	gotMass := us.ReplicatedMass + us.PartialMass + us.PartitionedMass + us.UncachedMass
+	if math.Abs(gotMass-totalMass) > 1e-6*totalMass {
+		t.Fatalf("classified mass %g of %g", gotMass, totalMass)
+	}
+}

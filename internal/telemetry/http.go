@@ -2,42 +2,115 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 )
 
-// Handler serves the registry at /metrics (plain-text exposition format)
-// and, when ring is non-nil, the last-N batch traces at /debug/trace
-// (JSON array, oldest first). Either argument may be nil; the matching
-// endpoint then answers 404.
-func Handler(reg *Registry, ring *TraceRing) http.Handler {
+// TimelineWriter is anything that can export a Chrome trace-event JSON
+// document — in practice *timeline.Recorder, accepted as an interface so
+// telemetry does not import the timeline package.
+type TimelineWriter interface {
+	WriteTrace(w io.Writer) error
+}
+
+// HandlerConfig selects which endpoints the telemetry handler exposes. Any
+// nil field turns its endpoint(s) into 404s.
+type HandlerConfig struct {
+	// Registry backs /metrics (plain-text exposition format).
+	Registry *Registry
+	// Trace backs /debug/trace (last-N batch trace records, JSON).
+	Trace *TraceRing
+	// Timeline backs /debug/timeline (Chrome trace-event JSON for
+	// Perfetto / chrome://tracing).
+	Timeline TimelineWriter
+	// Health backs /healthz and /readyz. /healthz answers 200 whenever the
+	// process is alive; /readyz answers 200 or 503 from Health.Ready.
+	Health *Health
+}
+
+// statusJSON writes a small JSON status body with an explicit
+// Content-Length, so probes reading liveness over keep-alive connections
+// never wait on chunked-transfer framing.
+func statusJSON(w http.ResponseWriter, code int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	io.WriteString(w, body)
+}
+
+// NewHandler builds the telemetry endpoint set described by cfg.
+func NewHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		if reg == nil {
+		if cfg.Registry == nil {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WriteMetrics(w); err != nil {
+		if err := cfg.Registry.WriteMetrics(w); err != nil {
 			// Headers are gone; all we can do is note it inline.
 			fmt.Fprintf(w, "# write error: %v\n", err)
 		}
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
-		if ring == nil {
+		if cfg.Trace == nil {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := ring.WriteJSON(w); err != nil {
+		if err := cfg.Trace.WriteJSON(w); err != nil {
 			fmt.Fprintf(w, "// write error: %v\n", err)
 		}
+	})
+	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Timeline == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		if err := cfg.Timeline.WriteTrace(w); err != nil {
+			fmt.Fprintf(w, "// write error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Health == nil {
+			http.NotFound(w, req)
+			return
+		}
+		statusJSON(w, http.StatusOK, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Health == nil {
+			http.NotFound(w, req)
+			return
+		}
+		if cfg.Health.Ready() {
+			statusJSON(w, http.StatusOK, `{"status":"ready"}`)
+			return
+		}
+		statusJSON(w, http.StatusServiceUnavailable, `{"status":"not ready"}`)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "ugache telemetry\n\n/metrics      plain-text counters, gauges, latency histograms\n/debug/trace  last-N per-batch trace records (JSON)\n")
+		fmt.Fprint(w, "ugache telemetry\n\n"+
+			"/metrics         plain-text counters, gauges, latency histograms\n"+
+			"/debug/trace     last-N per-batch trace records (JSON)\n"+
+			"/debug/timeline  Chrome trace-event JSON (open in Perfetto)\n"+
+			"/healthz         liveness probe\n"+
+			"/readyz          readiness probe\n")
 	})
 	return mux
+}
+
+// Handler serves the registry at /metrics and, when ring is non-nil, the
+// last-N batch traces at /debug/trace. It is the pre-timeline form of
+// NewHandler, kept for callers that need neither timeline export nor health
+// probes; either argument may be nil (404 on the matching endpoint).
+func Handler(reg *Registry, ring *TraceRing) http.Handler {
+	return NewHandler(HandlerConfig{Registry: reg, Trace: ring})
 }

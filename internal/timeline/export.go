@@ -1,0 +1,218 @@
+package timeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteTrace renders the recorder's merged events as a Chrome trace-event
+// JSON object ({"traceEvents": [...]}) loadable in Perfetto and
+// chrome://tracing. Timestamps and durations are exported in microseconds
+// (the trace-event unit). Output is deterministic for identical recorded
+// content: events are sorted (see Events), track-name metadata is sorted by
+// pid/tid, and floats use shortest-round-trip formatting.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line []byte) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(line)
+		return err
+	}
+
+	// Track-name metadata first, in (pid, tid) order.
+	r.mu.Lock()
+	procIDs := make([]int32, 0, len(r.procs))
+	for pid := range r.procs {
+		procIDs = append(procIDs, pid)
+	}
+	threadKeys := make([]int64, 0, len(r.threads))
+	for k := range r.threads {
+		threadKeys = append(threadKeys, k)
+	}
+	procs := make(map[int32]string, len(r.procs))
+	for k, v := range r.procs {
+		procs[k] = v
+	}
+	threads := make(map[int64]string, len(r.threads))
+	for k, v := range r.threads {
+		threads[k] = v
+	}
+	r.mu.Unlock()
+	sort.Slice(procIDs, func(i, j int) bool { return procIDs[i] < procIDs[j] })
+	sort.Slice(threadKeys, func(i, j int) bool { return threadKeys[i] < threadKeys[j] })
+	for _, pid := range procIDs {
+		line := fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			pid, quote(procs[pid]))
+		if err := emit([]byte(line)); err != nil {
+			return err
+		}
+	}
+	for _, k := range threadKeys {
+		pid, tid := int32(k>>32), int32(uint32(k))
+		line := fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			pid, tid, quote(threads[k]))
+		if err := emit([]byte(line)); err != nil {
+			return err
+		}
+	}
+
+	var buf []byte
+	for _, ev := range r.Events() {
+		buf = appendEvent(buf[:0], &ev)
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendEvent renders one event as a single-line JSON object.
+func appendEvent(buf []byte, ev *Event) []byte {
+	buf = append(buf, `{"ph":"`...)
+	buf = append(buf, byte(ev.Ph))
+	buf = append(buf, `","pid":`...)
+	buf = strconv.AppendInt(buf, int64(ev.PID), 10)
+	buf = append(buf, `,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(ev.TID), 10)
+	buf = append(buf, `,"name":`...)
+	buf = append(buf, quote(ev.Name)...)
+	if ev.Cat != "" {
+		buf = append(buf, `,"cat":`...)
+		buf = append(buf, quote(ev.Cat)...)
+	}
+	buf = append(buf, `,"ts":`...)
+	buf = appendMicros(buf, ev.Start)
+	if ev.Ph == PhSpan {
+		buf = append(buf, `,"dur":`...)
+		buf = appendMicros(buf, ev.Dur)
+	}
+	if ev.Ph == PhInstant {
+		buf = append(buf, `,"s":"t"`...)
+	}
+	if ev.NArgs > 0 {
+		buf = append(buf, `,"args":{`...)
+		for i := int32(0); i < ev.NArgs; i++ {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, quote(ev.Args[i].Key)...)
+			buf = append(buf, ':')
+			buf = strconv.AppendFloat(buf, ev.Args[i].Val, 'g', -1, 64)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+// appendMicros renders seconds as microseconds with fixed sub-microsecond
+// precision (three decimals), which keeps the output deterministic and
+// readable while preserving nanosecond resolution.
+func appendMicros(buf []byte, seconds float64) []byte {
+	return strconv.AppendFloat(buf, seconds*1e6, 'f', 3, 64)
+}
+
+func quote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// ValidationReport summarizes a validated Chrome trace file.
+type ValidationReport struct {
+	Events int
+	// ByPhase counts events per trace-event phase character.
+	ByPhase map[string]int
+	// ByPID counts events per process ID.
+	ByPID map[int64]int
+	// Names counts events per span name.
+	Names map[string]int
+}
+
+// Validate parses a Chrome trace-event JSON stream (object form) and checks
+// the invariants the exporter guarantees: the top level holds a traceEvents
+// array, every event carries ph/pid/tid/name, timestamps and durations are
+// non-negative, and pids stay within the fixed taxonomy plus metadata.
+// Shared by the golden tests and `ugache-trace -check-timeline`.
+func Validate(r io.Reader) (*ValidationReport, error) {
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("timeline: trace does not parse: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, fmt.Errorf("timeline: trace has no traceEvents array")
+	}
+	rep := &ValidationReport{
+		ByPhase: make(map[string]int),
+		ByPID:   make(map[int64]int),
+		Names:   make(map[string]int),
+	}
+	for i, ev := range doc.TraceEvents {
+		var ph, name string
+		if err := unmarshalField(ev, "ph", &ph); err != nil {
+			return nil, fmt.Errorf("timeline: event %d: %v", i, err)
+		}
+		if err := unmarshalField(ev, "name", &name); err != nil {
+			return nil, fmt.Errorf("timeline: event %d: %v", i, err)
+		}
+		var pid, tid int64
+		if err := unmarshalField(ev, "pid", &pid); err != nil {
+			return nil, fmt.Errorf("timeline: event %d (%s): %v", i, name, err)
+		}
+		if err := unmarshalField(ev, "tid", &tid); err != nil {
+			return nil, fmt.Errorf("timeline: event %d (%s): %v", i, name, err)
+		}
+		if ph != "M" {
+			var ts float64
+			if err := unmarshalField(ev, "ts", &ts); err != nil {
+				return nil, fmt.Errorf("timeline: event %d (%s): %v", i, name, err)
+			}
+			if ts < 0 {
+				return nil, fmt.Errorf("timeline: event %d (%s): negative ts %g", i, name, ts)
+			}
+		}
+		if raw, ok := ev["dur"]; ok {
+			var dur float64
+			if err := json.Unmarshal(raw, &dur); err != nil {
+				return nil, fmt.Errorf("timeline: event %d (%s): bad dur: %v", i, name, err)
+			}
+			if dur < 0 {
+				return nil, fmt.Errorf("timeline: event %d (%s): negative dur %g", i, name, dur)
+			}
+		}
+		rep.Events++
+		rep.ByPhase[ph]++
+		rep.ByPID[pid]++
+		rep.Names[name]++
+	}
+	return rep, nil
+}
+
+func unmarshalField(ev map[string]json.RawMessage, key string, dst interface{}) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %q", key)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("bad %q: %v", key, err)
+	}
+	return nil
+}

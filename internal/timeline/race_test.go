@@ -1,0 +1,50 @@
+package timeline
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecordingAndExport hammers one recorder from many writers —
+// including two goroutines sharing a shard, the slow-path pattern — while
+// exports, track renames, and Events snapshots run concurrently. Run with
+// -race; the assertions only check nothing is lost when rings do not wrap.
+func TestConcurrentRecordingAndExport(t *testing.T) {
+	const writers = 8
+	const perWriter = 500
+	r := NewRecorder(4, writers*perWriter) // shared shards never wrap
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := r.Shard(w) // w % 4: every shard shared by two writers
+			for i := 0; i < perWriter; i++ {
+				ev := Event{Name: "e", Cat: "race", Ph: PhSpan,
+					PID: ProcServe, TID: int32(w), Start: float64(i), Dur: 0.5}
+				ev.AddArg("i", float64(i))
+				sh.Emit(&ev)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			r.SetThreadName(ProcServe, int32(i%writers), "worker")
+			if err := r.WriteTrace(io.Discard); err != nil {
+				t.Error(err)
+			}
+			_ = r.Events()
+			_ = r.Dropped()
+		}
+	}()
+	wg.Wait()
+	if got := len(r.Events()); got != writers*perWriter {
+		t.Fatalf("recorded %d events, want %d", got, writers*perWriter)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped %d events with non-wrapping rings", r.Dropped())
+	}
+}

@@ -1,0 +1,185 @@
+package timeline
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// fixedEvents builds a deterministic event set exercising every phase,
+// every taxonomy pid, args, and name escaping. Starts are explicit, so the
+// wall clock never enters and export is byte-stable.
+func fixedEvents(r *Recorder) {
+	r.SetProcessName(ProcServe, "serve")
+	r.SetProcessName(ProcSim, "fluid-sim links")
+	r.SetProcessName(ProcControl, "control")
+	r.SetThreadName(ProcServe, 0, "gpu 0 worker")
+	r.SetThreadName(ProcServe, 1, "gpu 1 worker")
+	r.SetThreadName(ProcSim, 0, `nvlink "a"-"b"`)
+	r.SetThreadName(ProcControl, TIDRefresh, "cache refresh")
+
+	batch := Event{Name: "batch", Cat: "serve", Ph: PhSpan, PID: ProcServe, TID: 0, Start: 0.001, Dur: 0.0025}
+	batch.AddArg("requests", 3)
+	batch.AddArg("unique_keys", 1234)
+	r.Shard(0).Emit(&batch)
+	child := Event{Name: "extract", Cat: "serve", Ph: PhSpan, PID: ProcServe, TID: 0, Start: 0.0012, Dur: 0.0018}
+	r.Shard(0).Emit(&child)
+	// Same start as batch on another tid: exercises the sort tie-breaks.
+	other := Event{Name: "batch", Cat: "serve", Ph: PhSpan, PID: ProcServe, TID: 1, Start: 0.001, Dur: 0.002}
+	r.Shard(1).Emit(&other)
+	link := Event{Name: "link-flow", Cat: "sim", Ph: PhSpan, PID: ProcSim, TID: 0, Start: 0.0012, Dur: 0.0009}
+	link.AddArg("util", 0.75)
+	link.AddArg("rate_bytes_per_s", 1.8e11)
+	r.Shard(1).Emit(&link)
+	inst := Event{Name: "refresh-update-steps-truncated", Cat: "refresh", Ph: PhInstant, PID: ProcControl, TID: TIDRefresh, Start: 0.004}
+	inst.AddArg("omitted_steps", 17)
+	r.Shard(0).Emit(&inst)
+	ctr := Event{Name: "queue_depth", Cat: "serve", Ph: PhCounter, PID: ProcServe, TID: 0, Start: 0.002}
+	ctr.AddArg("depth", 5)
+	r.Shard(0).Emit(&ctr)
+}
+
+func TestWriteTraceGolden(t *testing.T) {
+	r := NewRecorder(2, 64)
+	fixedEvents(r)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/timeline -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export differs from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// A second recorder fed the same events must export identical bytes —
+	// determinism does not depend on shard fill order within a shard count.
+	r2 := NewRecorder(2, 64)
+	fixedEvents(r2)
+	var buf2 bytes.Buffer
+	if err := r2.WriteTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two identical recorders exported different bytes")
+	}
+}
+
+func TestWriteTraceValidates(t *testing.T) {
+	r := NewRecorder(2, 64)
+	fixedEvents(r)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 recorded events + 3 process_name + 4 thread_name metadata.
+	if rep.Events != 13 {
+		t.Fatalf("validated %d events, want 13", rep.Events)
+	}
+	if rep.ByPhase["X"] != 4 || rep.ByPhase["i"] != 1 || rep.ByPhase["C"] != 1 || rep.ByPhase["M"] != 7 {
+		t.Fatalf("phase counts %v", rep.ByPhase)
+	}
+	if rep.Names["batch"] != 2 || rep.Names["link-flow"] != 1 {
+		t.Fatalf("name counts %v", rep.Names)
+	}
+	if rep.ByPID[ProcServe] != 4+3 { // 4 serve events + 3 serve metadata
+		t.Fatalf("pid counts %v", rep.ByPID)
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{`,
+		"no array":      `{"displayTimeUnit":"ms"}`,
+		"missing ph":    `{"traceEvents":[{"pid":1,"tid":0,"name":"x","ts":0}]}`,
+		"missing name":  `{"traceEvents":[{"ph":"X","pid":1,"tid":0,"ts":0}]}`,
+		"missing pid":   `{"traceEvents":[{"ph":"X","tid":0,"name":"x","ts":0}]}`,
+		"missing ts":    `{"traceEvents":[{"ph":"X","pid":1,"tid":0,"name":"x"}]}`,
+		"negative ts":   `{"traceEvents":[{"ph":"X","pid":1,"tid":0,"name":"x","ts":-1,"dur":1}]}`,
+		"negative dur":  `{"traceEvents":[{"ph":"X","pid":1,"tid":0,"name":"x","ts":1,"dur":-1}]}`,
+		"ts wrong type": `{"traceEvents":[{"ph":"X","pid":1,"tid":0,"name":"x","ts":"now"}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := Validate(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+	if rep, err := Validate(strings.NewReader(`{"traceEvents":[]}`)); err != nil || rep.Events != 0 {
+		t.Errorf("empty traceEvents rejected: %v", err)
+	}
+}
+
+func TestRingOverwriteAndDropCount(t *testing.T) {
+	r := NewRecorder(1, 4)
+	sh := r.Shard(0)
+	for i := 0; i < 10; i++ {
+		ev := Event{Name: "e", Ph: PhInstant, PID: 1, TID: 0, Start: float64(i)}
+		sh.Emit(&ev)
+	}
+	if sh.Len() != 4 {
+		t.Fatalf("ring holds %d, want 4", sh.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 || evs[0].Start != 6 || evs[3].Start != 9 {
+		t.Fatalf("survivors %v", evs)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	r := NewRecorder(1, 16)
+	sh := r.Shard(0)
+	// Child emitted before parent; equal starts must order parent (longer
+	// dur) first so trace viewers nest correctly.
+	child := Event{Name: "child", Ph: PhSpan, PID: 1, TID: 0, Start: 1, Dur: 0.5}
+	parent := Event{Name: "parent", Ph: PhSpan, PID: 1, TID: 0, Start: 1, Dur: 2}
+	sh.Emit(&child)
+	sh.Emit(&parent)
+	evs := r.Events()
+	if evs[0].Name != "parent" || evs[1].Name != "child" {
+		t.Fatalf("order %s, %s", evs[0].Name, evs[1].Name)
+	}
+}
+
+func TestArgOverflowDropsSilently(t *testing.T) {
+	var ev Event
+	for i := 0; i < MaxArgs+5; i++ {
+		ev.AddArg("k", float64(i))
+	}
+	if ev.NArgs != MaxArgs {
+		t.Fatalf("NArgs %d", ev.NArgs)
+	}
+}
+
+func TestNowAndSince(t *testing.T) {
+	r := NewRecorder(1, 8)
+	if r.Since(time.Now().Add(-time.Hour)) != 0 {
+		t.Fatal("pre-epoch time did not clamp to 0")
+	}
+	if r.Now() < 0 {
+		t.Fatal("negative Now")
+	}
+	if r.Since(time.Now().Add(time.Millisecond)) <= 0 {
+		t.Fatal("future time not positive")
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"ugache/internal/serve"
 	"ugache/internal/solver"
 	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
@@ -241,6 +242,44 @@ type TraceRing = telemetry.TraceRing
 func TelemetryHandler(reg *TelemetryRegistry, ring *TraceRing) http.Handler {
 	return telemetry.Handler(reg, ring)
 }
+
+// TelemetryHandlerConfig selects the endpoints of NewTelemetryHandler:
+// /metrics, /debug/trace, /debug/timeline, /healthz and /readyz.
+type TelemetryHandlerConfig = telemetry.HandlerConfig
+
+// NewTelemetryHandler serves the full observability endpoint set.
+func NewTelemetryHandler(cfg TelemetryHandlerConfig) http.Handler {
+	return telemetry.NewHandler(cfg)
+}
+
+// Health is the liveness/readiness state behind /healthz and /readyz: flip
+// SetReady(true) once the first cache build commits, SetReady(false) before
+// draining a Server.
+type Health = telemetry.Health
+
+// NewHealth returns a not-ready Health.
+func NewHealth() *Health { return telemetry.NewHealth() }
+
+// TimelineRecorder records span-based traces (serve batches, fluid-sim link
+// utilization, refresh/solver steps) and exports Chrome trace-event JSON
+// loadable in Perfetto or chrome://tracing (DESIGN.md §6.3). Share one
+// recorder across Config.Timeline and ServeConfig.Timeline.
+type TimelineRecorder = timeline.Recorder
+
+// NewTimelineRecorder creates a recorder with one event ring per writer
+// shard (use the platform's GPU count for serving; depth <= 0 picks the
+// default ring depth).
+func NewTimelineRecorder(shards, depth int) *TimelineRecorder {
+	return timeline.NewRecorder(shards, depth)
+}
+
+// ValidateTimeline parses a Chrome trace-event JSON stream and checks the
+// invariants the exporter guarantees; it backs `ugache-trace
+// -check-timeline` and the golden tests.
+func ValidateTimeline(r io.Reader) (*TimelineValidation, error) { return timeline.Validate(r) }
+
+// TimelineValidation summarizes a validated Chrome trace file.
+type TimelineValidation = timeline.ValidationReport
 
 // Rand is the repository's deterministic random generator.
 type Rand = rng.Rand
