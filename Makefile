@@ -1,11 +1,11 @@
 GO ?= go
 
-RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline
+RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline ./internal/milp ./internal/solver
 
 # Packages with testing.B microbenchmarks on the extraction hot path.
 BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve
 
-.PHONY: check build test vet fmt race bench figures trace-smoke
+.PHONY: check build test vet fmt race bench bench-solver figures trace-smoke
 
 check: fmt vet build test race
 
@@ -23,7 +23,8 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Race coverage of the concurrent paths: lookups/extractions racing
-# refreshes, the serving engine, and the parallel bench runner.
+# refreshes, the serving engine, the parallel bench runner, and the
+# multi-worker branch-and-bound search (milp is the slowest at ~15 s).
 race:
 	$(GO) test -race $(RACE_PKGS)
 
@@ -31,6 +32,13 @@ race:
 # checked-in BENCH_hotpath.json numbers).
 bench:
 	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS)
+
+# Solver control-plane benchmarks: parallel branch-and-bound throughput
+# (W=1 vs W=4) and cold-vs-warm refresh re-solves (compare against the
+# checked-in BENCH_solver.json numbers).
+bench-solver:
+	$(GO) test -run xxx -bench BenchmarkMILPSolve -benchmem ./internal/milp
+	$(GO) test -run xxx -bench BenchmarkRefreshSolve -benchmem ./internal/solver
 
 # Regenerate the paper's tables and figures (minutes at full scale).
 figures:

@@ -31,6 +31,7 @@ import (
 	"ugache/internal/prof"
 	"ugache/internal/rng"
 	"ugache/internal/serve"
+	"ugache/internal/solver"
 	"ugache/internal/telemetry"
 	"ugache/internal/timeline"
 	"ugache/internal/workload"
@@ -52,6 +53,8 @@ type options struct {
 	traceDepth int
 	traceOut   string
 	refresh    bool
+	workers    int
+	relgap     float64
 }
 
 func main() {
@@ -70,6 +73,8 @@ func main() {
 	flag.IntVar(&o.traceDepth, "trace-depth", 256, "per-batch trace ring depth (negative disables tracing)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "record a span timeline and write Chrome trace-event JSON (Perfetto / chrome://tracing) to this file at exit")
 	flag.BoolVar(&o.refresh, "refresh", false, "sample hotness during the run and trigger one §7.2 cache refresh after the client loop")
+	flag.IntVar(&o.workers, "solver-workers", 0, "branch-and-bound workers for optioned policies (0/1 sequential, -1 all cores)")
+	flag.Float64Var(&o.relgap, "relgap", 0, "relative optimality gap for optioned policies (0 proves optimality)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -153,6 +158,7 @@ func run(o options) error {
 		EntryBytes: ds.MT.MaxEntryBytes(),
 		CacheRatio: o.ratio,
 		Source:     ds.MT,
+		Solver:     solver.Options{Workers: o.workers, RelGap: o.relgap},
 		Telemetry:  reg,
 		Timeline:   tl,
 	})
@@ -324,13 +330,20 @@ func run(o options) error {
 		if baseIter <= 0 {
 			baseIter = 1e-3
 		}
-		rt0 := time.Now()
 		rep, err := sys.Refresh(measured, baseIter, cache.DefaultRefreshConfig())
 		if err != nil {
 			return fmt.Errorf("refresh: %w", err)
 		}
-		fmt.Printf("refresh:           %d evicted, %d inserted in %.1fs simulated (%.1f%% mean impact, solved in %.2fs wall)\n",
-			rep.EvictedEntries, rep.InsertedEntries, rep.Duration, 100*rep.MeanImpact, time.Since(rt0).Seconds())
+		fmt.Printf("refresh:           %d evicted, %d inserted in %.1fs simulated (%.1f%% mean impact)\n",
+			rep.EvictedEntries, rep.InsertedEntries, rep.Duration, 100*rep.MeanImpact)
+		if st := rep.Solve; st != nil {
+			nodes := ""
+			if st.Nodes > 0 {
+				nodes = fmt.Sprintf(", %d B&B nodes", st.Nodes)
+			}
+			fmt.Printf("refresh solve:     %.3fs wall (workers %d, warm start%s)\n",
+				st.WallSeconds, st.Workers, nodes)
+		}
 	}
 
 	if o.listen != "" {

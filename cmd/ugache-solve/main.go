@@ -31,6 +31,9 @@ func main() {
 		compare = flag.Bool("compare", false, "solve with every policy family")
 		save    = flag.String("save", "", "write the solved placement to this file")
 		seed    = flag.Uint64("seed", 42, "random seed")
+		workers = flag.Int("solver-workers", 0, "branch-and-bound workers for exact policies (0/1 sequential, -1 all cores)")
+		relgap  = flag.Float64("relgap", 0, "relative optimality gap for exact policies (0 proves optimality)")
+		blocks  = flag.Int("blocks", 0, "hotness block budget (0 = policy default; the exact policy needs a reduced count)")
 	)
 	flag.Parse()
 
@@ -57,7 +60,7 @@ func main() {
 	for g := range caps {
 		caps[g] = int64(*ratio * float64(*entries))
 	}
-	in := &solver.Input{P: p, Hotness: h, EntryBytes: *dim * 4, Capacity: caps}
+	in := &solver.Input{P: p, Hotness: h, EntryBytes: *dim * 4, Capacity: caps, BlockBudget: *blocks}
 
 	names := []string{*policy}
 	if *compare {
@@ -74,7 +77,7 @@ func main() {
 			os.Exit(1)
 		}
 		t0 := time.Now()
-		pl, err := pol.Solve(in)
+		pl, err := solver.SolveWith(pol, in, solver.Options{Workers: *workers, RelGap: *relgap})
 		if err != nil {
 			fmt.Printf("%-18s %s\n", name, err)
 			continue
@@ -95,7 +98,11 @@ func main() {
 			name, maxT*1e6, el.Round(time.Millisecond),
 			st.Local*100, st.Remote*100, st.Host*100, len(pl.Blocks))
 		if pl.LowerBound > 0 {
-			fmt.Printf("%-18s   (LP lower bound %.4gus)\n", "", pl.LowerBound*1e6)
+			if pl.SolveNodes > 0 {
+				fmt.Printf("%-18s   (lower bound %.4gus, %d B&B nodes)\n", "", pl.LowerBound*1e6, pl.SolveNodes)
+			} else {
+				fmt.Printf("%-18s   (LP lower bound %.4gus)\n", "", pl.LowerBound*1e6)
+			}
 		}
 		if *save != "" && !*compare {
 			f, err := os.Create(*save)

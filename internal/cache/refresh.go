@@ -24,6 +24,8 @@ type refreshMetrics struct {
 	meanImpact    *telemetry.Gauge
 	evicted       *telemetry.Gauge
 	inserted      *telemetry.Gauge
+	solveWall     *telemetry.Gauge
+	solveNodes    *telemetry.Gauge
 }
 
 // SetTelemetry registers the refresh gauges in reg and publishes every
@@ -43,6 +45,8 @@ func (s *System) SetTelemetry(reg *telemetry.Registry) {
 		meanImpact:    reg.Gauge("cache_refresh_last_mean_impact", "last refresh mean foreground iteration-time inflation"),
 		evicted:       reg.Gauge("cache_refresh_last_evicted_entries", "entries evicted by the last refresh"),
 		inserted:      reg.Gauge("cache_refresh_last_inserted_entries", "entries inserted by the last refresh"),
+		solveWall:     reg.Gauge("cache_refresh_last_solve_wall_seconds", "last refresh measured policy-solve wall seconds"),
+		solveNodes:    reg.Gauge("cache_refresh_last_solve_nodes", "branch-and-bound nodes explored by the last refresh solve"),
 	})
 }
 
@@ -100,6 +104,16 @@ func emitTimeline(rec *timeline.Recorder, wallStart float64, rep *RefreshReport,
 		Start: wallStart,
 		Dur:   rep.SolveSeconds,
 	}
+	if st := rep.Solve; st != nil {
+		solve.AddArg("solve_wall_seconds", st.WallSeconds)
+		solve.AddArg("solve_nodes", float64(st.Nodes))
+		solve.AddArg("workers", float64(st.Workers))
+		warm := 0.0
+		if st.WarmStart {
+			warm = 1
+		}
+		solve.AddArg("warm_start", warm)
+	}
 	sh.Emit(&solve)
 
 	stepLen := perStep + pause
@@ -143,6 +157,10 @@ func (m *refreshMetrics) publish(rep *RefreshReport) {
 	m.meanImpact.Set(rep.MeanImpact)
 	m.evicted.Set(float64(rep.EvictedEntries))
 	m.inserted.Set(float64(rep.InsertedEntries))
+	if st := rep.Solve; st != nil {
+		m.solveWall.Set(st.WallSeconds)
+		m.solveNodes.Set(float64(st.Nodes))
+	}
 }
 
 // HotnessSampler is the foreground sampling of §7.2: input batches are
@@ -267,6 +285,25 @@ func (h *HotnessSampler) Hotness() (workload.Hotness, error) {
 	return out, nil
 }
 
+// SolveStats describes the real policy solve that produced the placement
+// being applied — measured wall time and branch-and-bound effort — as
+// opposed to RefreshConfig.SolveSeconds, which is the simulated solve
+// duration replayed into the Fig. 17 timeline. The core engine fills it
+// from the solver; it flows untouched into the report, the
+// cache_refresh_last_solve_* gauges, and the refresh-solve span args.
+type SolveStats struct {
+	// WallSeconds is the measured wall-clock duration of the solve.
+	WallSeconds float64
+	// Nodes is the branch-and-bound node count (0 for LP and heuristic
+	// policies, which have no search tree).
+	Nodes int64
+	// Workers is the solver parallelism the solve ran with.
+	Workers int
+	// WarmStart records whether the solve was seeded with the previous
+	// placement as an initial incumbent.
+	WarmStart bool
+}
+
 // RefreshConfig tunes the §7.2 background refresh.
 type RefreshConfig struct {
 	// SolveSeconds is the simulated background policy-solve time (the paper
@@ -290,6 +327,10 @@ type RefreshConfig struct {
 	UpdateBandwidth float64
 	// SamplePeriod is the timeline sampling period in seconds.
 	SamplePeriod float64
+	// Solve, when non-nil, attaches the real solve's statistics to the
+	// report, gauges and timeline (the simulated impact replay above is
+	// driven by SolveSeconds regardless).
+	Solve *SolveStats
 }
 
 // DefaultRefreshConfig mirrors the behaviour in §7.2/Fig. 17: a ~10 s
@@ -322,6 +363,9 @@ type RefreshReport struct {
 	InsertedEntries int64
 	MeanImpact      float64 // average iteration-time inflation during refresh
 	Timeline        []RefreshStep
+	// Solve carries the real solve's statistics when the caller provided
+	// them in RefreshConfig.Solve; nil otherwise.
+	Solve *SolveStats
 }
 
 // Refresh re-points the system at a new placement, simulating the §7.2
@@ -400,6 +444,7 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 		UpdateSeconds:   updateSeconds,
 		EvictedEntries:  evicted,
 		InsertedEntries: inserted,
+		Solve:           cfg.Solve,
 	}
 	impactSum, impactN := 0.0, 0
 	for t := -5 * cfg.SamplePeriod; t < duration+5*cfg.SamplePeriod; t += cfg.SamplePeriod {

@@ -174,6 +174,89 @@ func TestRefreshTelemetryGauges(t *testing.T) {
 	}
 }
 
+// TestRefreshSolveStats: a SolveStats attached to the config flows into the
+// report, the solve-wall gauges, and the refresh-solve span args — the
+// channel the core engine uses to surface real (measured) solve cost next
+// to the simulated Fig. 17 replay.
+func TestRefreshSolveStats(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 2000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry(2)
+	sys.SetTelemetry(reg)
+	rec := timeline.NewRecorder(1, 1024)
+	sys.SetTimeline(rec)
+
+	h2 := make(workload.Hotness, 2000)
+	for i := range h2 {
+		h2[i] = in.Hotness[2000-1-i]
+	}
+	in2 := *in
+	in2.Hotness = h2
+	pl2, err := (solver.UGache{}).Solve(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 200
+	cfg.Solve = &SolveStats{WallSeconds: 0.042, Nodes: 37, Workers: 4, WarmStart: true}
+	rep, err := sys.Refresh(pl2, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solve != cfg.Solve {
+		t.Fatalf("report Solve %+v, want the config's stats", rep.Solve)
+	}
+	vals := map[string]float64{}
+	for _, s := range reg.Samples() {
+		vals[s.Name] = s.Value
+	}
+	if vals["cache_refresh_last_solve_wall_seconds"] != 0.042 {
+		t.Fatalf("solve wall gauge %g", vals["cache_refresh_last_solve_wall_seconds"])
+	}
+	if vals["cache_refresh_last_solve_nodes"] != 37 {
+		t.Fatalf("solve nodes gauge %g", vals["cache_refresh_last_solve_nodes"])
+	}
+	var solve *timeline.Event
+	for _, ev := range rec.Events() {
+		if ev.Name == "refresh-solve" {
+			ev := ev
+			solve = &ev
+		}
+	}
+	if solve == nil {
+		t.Fatal("missing refresh-solve span")
+	}
+	args := map[string]float64{}
+	for i := int32(0); i < solve.NArgs; i++ {
+		args[solve.Args[i].Key] = solve.Args[i].Val
+	}
+	if args["solve_wall_seconds"] != 0.042 || args["solve_nodes"] != 37 ||
+		args["workers"] != 4 || args["warm_start"] != 1 {
+		t.Fatalf("refresh-solve span args %v", args)
+	}
+
+	// Without stats the span carries no solve args and the gauges are
+	// untouched by the next publish.
+	cfg.Solve = nil
+	if _, err := sys.Refresh(pl, 0.001, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var last *timeline.Event
+	for _, ev := range rec.Events() {
+		if ev.Name == "refresh-solve" {
+			ev := ev
+			last = &ev
+		}
+	}
+	if last.NArgs != 0 {
+		t.Fatalf("stat-less refresh-solve span has %d args", last.NArgs)
+	}
+}
+
 // TestHotnessSamplerEvery pins the per-shard sampling cadence (the old
 // single-threaded behaviour, now via shard 0).
 func TestHotnessSamplerEvery(t *testing.T) {

@@ -51,6 +51,12 @@ type Config struct {
 	CacheRatio float64
 	// Policy picks the placement algorithm (default solver.UGache{}).
 	Policy solver.Policy
+	// Solver configures how optioned policies solve (branch-and-bound
+	// workers, relative gap, node caps). Build uses it as-is; Refresh
+	// additionally seeds WarmStart with the outgoing placement so
+	// drifted-hotness re-solves start from a near-optimal incumbent.
+	// Policies without options (heuristics) ignore it.
+	Solver solver.Options
 	// Mechanism picks the extraction mechanism (default extract.Factored).
 	Mechanism extract.Mechanism
 	// Source, when non-nil, enables functional mode: Lookup returns real
@@ -92,6 +98,7 @@ type System struct {
 	Mechanism extract.Mechanism
 
 	policy   solver.Policy
+	solveOpt solver.Options
 	capacity []int64
 
 	// refreshMu serializes Refresh calls; readers never take it.
@@ -282,7 +289,7 @@ func Build(cfg Config) (*System, error) {
 	}
 	pl := cfg.Placement
 	if pl == nil {
-		solved, err := policy.Solve(&in)
+		solved, err := solver.SolveWith(policy, &in, cfg.Solver)
 		if err != nil {
 			return nil, fmt.Errorf("core: policy %s: %w", policy.Name(), err)
 		}
@@ -309,6 +316,7 @@ func Build(cfg Config) (*System, error) {
 		Cache:     cs,
 		Mechanism: cfg.Mechanism,
 		policy:    policy,
+		solveOpt:  cfg.Solver,
 		capacity:  capacity,
 	}
 	if cfg.Telemetry != nil {
@@ -348,6 +356,7 @@ func (s *System) emitSolveSpan(start time.Time, wallSeconds float64, pl *solver.
 	ev.AddArg("partitioned_mass", sum.PartitionedMass)
 	ev.AddArg("uncached_mass", sum.UncachedMass)
 	ev.AddArg("est_time_max", maxOf(pl.EstTimes))
+	ev.AddArg("solve_nodes", float64(pl.SolveNodes))
 	s.tl.Shard(0).Emit(&ev)
 }
 
@@ -415,15 +424,30 @@ func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg 
 	}
 	in := old.input
 	in.Hotness = newHotness
+	// Re-solves are warm-started from the outgoing placement: exact policies
+	// adopt it as the initial incumbent, so a drifted-hotness solve prunes
+	// from the first node instead of rediscovering the placement.
+	opt := s.solveOpt
+	opt.WarmStart = old.placement
 	solveStart := time.Now()
-	pl, err := s.policy.Solve(&in)
+	pl, err := solver.SolveWith(s.policy, &in, opt)
 	if err != nil {
 		return nil, err
 	}
+	solveWall := time.Since(solveStart).Seconds()
 	if err := pl.Validate(&in); err != nil {
 		return nil, err
 	}
-	s.emitSolveSpan(solveStart, time.Since(solveStart).Seconds(), pl)
+	s.emitSolveSpan(solveStart, solveWall, pl)
+	// Surface the real solve cost next to the simulated Fig. 17 replay: the
+	// cache layer publishes these through its solve-wall gauges and the
+	// refresh-solve span args.
+	cfg.Solve = &cache.SolveStats{
+		WallSeconds: solveWall,
+		Nodes:       pl.SolveNodes,
+		Workers:     opt.Workers,
+		WarmStart:   true,
+	}
 	// Build every fallible piece before touching shared state, so a failed
 	// refresh leaves the old placement, caches and extractor paired.
 	ex, err := extract.New(s.P, pl)

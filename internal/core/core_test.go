@@ -11,6 +11,8 @@ import (
 	"ugache/internal/platform"
 	"ugache/internal/rng"
 	"ugache/internal/solver"
+	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
@@ -246,6 +248,101 @@ func TestShouldRefreshAndRefresh(t *testing.T) {
 	}
 	if yes, _ := sys.ShouldRefresh(h2, 0.1); yes {
 		t.Fatal("refresh trigger still raised after refresh")
+	}
+}
+
+// TestRefreshExactWarmStartStats runs the full control plane with the Exact
+// branch-and-bound policy on a reduced 2-GPU instance: Build solves under
+// Config.Solver, Refresh warm-starts from the outgoing placement, and the
+// measured solve statistics surface in the report, the solve-wall gauges,
+// and the policy-solve span.
+func TestRefreshExactWarmStartStats(t *testing.T) {
+	pair := [][]float64{{0, 50e9}, {50e9, 0}}
+	p, err := platform.New(platform.Config{
+		Name: "2xV100", Kind: platform.HardWired, GPU: platform.V100x16, N: 2,
+		PCIeBW: 12e9, DRAMBW: 140e9, PairBW: pair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 48
+	h := make(workload.Hotness, n)
+	for e := 0; e < n; e++ {
+		h[e] = math.Pow(float64(e+1), -1.2) * 1000
+	}
+	reg := telemetry.NewRegistry(p.N)
+	rec := timeline.NewRecorder(1, 1024)
+	sys, err := Build(Config{
+		Platform:           p,
+		Hotness:            h,
+		EntryBytes:         512,
+		CacheEntriesPerGPU: 16,
+		Policy:             solver.Exact{MaxBlocks: 6},
+		Solver:             solver.Options{Workers: 2, RelGap: 0.02},
+		Telemetry:          reg,
+		Timeline:           rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Placement().Policy != "exact" {
+		t.Fatalf("policy %q", sys.Placement().Policy)
+	}
+	if sys.Placement().SolveNodes <= 0 {
+		t.Fatal("build solve recorded no nodes")
+	}
+
+	// Drift the hotness and refresh: the re-solve must be warm-started and
+	// its measured stats published end to end.
+	h2 := make(workload.Hotness, n)
+	for e := range h2 {
+		h2[e] = h[e] * (1 + 0.2*math.Sin(float64(e)*2.39996))
+	}
+	cfg := cache.DefaultRefreshConfig()
+	cfg.BatchEntries = 8
+	rep, err := sys.Refresh(h2, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Solve
+	if st == nil {
+		t.Fatal("refresh report missing solve stats")
+	}
+	if !st.WarmStart || st.Workers != 2 {
+		t.Fatalf("solve stats %+v: want warm start with 2 workers", st)
+	}
+	if st.Nodes != sys.Placement().SolveNodes || st.Nodes <= 0 {
+		t.Fatalf("solve stats nodes %d, placement %d", st.Nodes, sys.Placement().SolveNodes)
+	}
+	if st.WallSeconds <= 0 {
+		t.Fatalf("solve wall %g", st.WallSeconds)
+	}
+	vals := map[string]float64{}
+	for _, s := range reg.Samples() {
+		vals[s.Name] = s.Value
+	}
+	if vals["cache_refresh_last_solve_nodes"] != float64(st.Nodes) {
+		t.Fatalf("solve nodes gauge %g, want %d", vals["cache_refresh_last_solve_nodes"], st.Nodes)
+	}
+	if vals["cache_refresh_last_solve_wall_seconds"] != st.WallSeconds {
+		t.Fatalf("solve wall gauge %g, want %g", vals["cache_refresh_last_solve_wall_seconds"], st.WallSeconds)
+	}
+	var solveSpan *timeline.Event
+	for _, ev := range rec.Events() {
+		if ev.Name == "policy-solve" {
+			ev := ev
+			solveSpan = &ev
+		}
+	}
+	if solveSpan == nil {
+		t.Fatal("missing policy-solve span")
+	}
+	args := map[string]float64{}
+	for i := int32(0); i < solveSpan.NArgs; i++ {
+		args[solveSpan.Args[i].Key] = solveSpan.Args[i].Val
+	}
+	if args["solve_nodes"] != float64(st.Nodes) {
+		t.Fatalf("policy-solve span solve_nodes %g, want %d", args["solve_nodes"], st.Nodes)
 	}
 }
 

@@ -1,0 +1,188 @@
+package lp
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ugache/internal/rng"
+)
+
+// randomProblem builds a feasible-ish random LP: ≤ rows with nonnegative
+// coefficients are always feasible at x = 0.
+func randomProblem(t *testing.T, r *rng.Rand, nVars, nCons int) *Problem {
+	t.Helper()
+	obj := make([]float64, nVars)
+	for j := range obj {
+		obj[j] = r.Float64()*4 - 2
+	}
+	p, err := NewProblem(nVars, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nCons; i++ {
+		coefs := make([]Coef, 0, nVars)
+		for j := 0; j < nVars; j++ {
+			coefs = append(coefs, Coef{Var: j, Value: r.Float64() * 3})
+		}
+		if err := p.AddConstraint(coefs, LE, 1+r.Float64()*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestSolveBoundedMatchesClone checks the overlay path against the legacy
+// Clone-and-AddConstraint path on random instances with random branching
+// bounds: identical status, objective, and point.
+func TestSolveBoundedMatchesClone(t *testing.T) {
+	r := rng.New(7)
+	sc := &Scratch{}
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(t, r, 4+r.Intn(5), 3+r.Intn(4))
+		nb := r.Intn(4)
+		bounds := make([]Bound, 0, nb)
+		cloned := p.Clone()
+		for k := 0; k < nb; k++ {
+			v := r.Intn(p.NumVars())
+			op := LE
+			if r.Intn(2) == 0 {
+				op = GE
+			}
+			rhs := float64(r.Intn(4))
+			bounds = append(bounds, Bound{Var: v, Op: op, RHS: rhs})
+			if err := cloned.AddConstraint([]Coef{{Var: v, Value: 1}}, op, rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := cloned.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.SolveBounded(bounds, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status %v vs clone %v", trial, got.Status, want.Status)
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("trial %d: objective %g vs clone %g", trial, got.Objective, want.Objective)
+		}
+		for j := range got.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("trial %d: x[%d] = %g vs clone %g", trial, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}
+
+func TestSolveBoundedValidation(t *testing.T) {
+	p, _ := NewProblem(2, []float64{1, 1})
+	p.AddConstraint([]Coef{{0, 1}, {1, 1}}, GE, 1)
+	if _, err := p.SolveBounded([]Bound{{Var: 2, Op: LE, RHS: 1}}, nil); err == nil {
+		t.Fatal("out-of-range bound var accepted")
+	}
+	if _, err := p.SolveBounded([]Bound{{Var: 0, Op: LE, RHS: math.NaN()}}, nil); err == nil {
+		t.Fatal("NaN bound rhs accepted")
+	}
+}
+
+// TestSolveBoundedInfeasibleBounds pins that contradictory overlay bounds
+// produce Infeasible, the branch-and-bound "dead subtree" signal.
+func TestSolveBoundedInfeasibleBounds(t *testing.T) {
+	p, _ := NewProblem(1, []float64{1})
+	p.AddConstraint([]Coef{{0, 1}}, LE, 10)
+	sol, err := p.SolveBounded([]Bound{
+		{Var: 0, Op: GE, RHS: 5},
+		{Var: 0, Op: LE, RHS: 4},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+// TestScratchReuseAllocFree pins the point of Scratch: after a warm-up
+// solve, repeat solves of the same shape allocate nothing.
+func TestScratchReuseAllocFree(t *testing.T) {
+	r := rng.New(11)
+	p := randomProblem(t, r, 8, 6)
+	bounds := []Bound{{Var: 0, Op: LE, RHS: 2}, {Var: 3, Op: GE, RHS: 1}}
+	sc := &Scratch{}
+	if _, err := p.SolveBounded(bounds, sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := p.SolveBounded(bounds, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm SolveBounded allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSolutionXAliasesScratch documents the aliasing contract: X from a
+// scratch solve is invalidated by the scratch's next use.
+func TestSolutionXAliasesScratch(t *testing.T) {
+	p, _ := NewProblem(2, []float64{-1, -1})
+	p.AddConstraint([]Coef{{0, 1}, {1, 1}}, LE, 4)
+	sc := &Scratch{}
+	first, err := p.SolveBounded(nil, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := first.X
+	if _, err := p.SolveBounded([]Bound{{Var: 0, Op: LE, RHS: 1}}, sc); err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.SolveBounded(nil, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &kept[0] != &second.X[0] {
+		t.Fatal("scratch solves expected to share X backing storage")
+	}
+}
+
+// TestConcurrentSolveBounded hammers one shared Problem from many
+// goroutines with distinct scratches (run under -race).
+func TestConcurrentSolveBounded(t *testing.T) {
+	r := rng.New(3)
+	p := randomProblem(t, r, 10, 8)
+	want, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc := &Scratch{}
+			for it := 0; it < 50; it++ {
+				bounds := []Bound{{Var: g % p.NumVars(), Op: LE, RHS: float64(it % 5)}}
+				if _, err := p.SolveBounded(bounds, sc); err != nil {
+					t.Error(err)
+					return
+				}
+				sol, err := p.SolveBounded(nil, sc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sol.Objective != want.Objective {
+					t.Errorf("goroutine %d: unbounded solve drifted: %g vs %g", g, sol.Objective, want.Objective)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -152,37 +152,117 @@ const (
 	maxSize = 2000 // max rows or columns for the dense tableau
 )
 
-// Solve runs two-phase primal simplex.
+// Bound is a single-variable overlay row (coefficient 1 on Var): branch-
+// and-bound nodes carry a few of these instead of cloning the whole
+// problem, so a branch node costs O(1) extra state rather than a full
+// constraint-matrix copy.
+type Bound struct {
+	Var int
+	Op  Op
+	RHS float64
+}
+
+// Scratch holds the simplex working set — tableau cells, bases, objective
+// rows, pricing and result buffers — so repeated solves (branch-and-bound
+// nodes) stop allocating once the buffers have grown to the instance size.
+// A Scratch may be used by one goroutine at a time; distinct goroutines
+// solving the same read-only Problem concurrently must use distinct
+// Scratches.
+type Scratch struct {
+	cells   []float64
+	rows    [][]float64
+	b       []float64
+	basis   []int
+	artCols []bool
+	phase1  []float64
+	phase2  []float64
+	rc      []float64
+	x       []float64
+	tab     tableau
+}
+
+// growF returns buf resized to n without zeroing (callers that need zeros
+// must clear it themselves).
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func growI(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
+// Solve runs two-phase primal simplex, returning freshly allocated result
+// storage (callers may retain Solution.X indefinitely).
 func (p *Problem) Solve() (*Solution, error) {
-	m := len(p.cons)
+	sol, err := p.SolveBounded(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &sol, nil
+}
+
+// flipOp mirrors a relation, used when normalizing a row to a nonnegative
+// right-hand side.
+func flipOp(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return op
+}
+
+// SolveBounded solves the problem with the overlay bounds appended as extra
+// rows, without copying or mutating the Problem — a Problem is read-only
+// under SolveBounded, so any number of goroutines may solve the same
+// instance concurrently as long as each brings its own Scratch (nil
+// allocates a private one). Solution.X aliases sc's buffers and is valid
+// only until sc's next solve; callers that retain it must copy.
+func (p *Problem) SolveBounded(bounds []Bound, sc *Scratch) (Solution, error) {
+	for _, bd := range bounds {
+		if bd.Var < 0 || bd.Var >= p.numVars {
+			return Solution{}, fmt.Errorf("lp: bound references variable %d of %d", bd.Var, p.numVars)
+		}
+		if math.IsNaN(bd.RHS) || math.IsInf(bd.RHS, 0) {
+			return Solution{}, fmt.Errorf("lp: non-finite bound rhs for variable %d", bd.Var)
+		}
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	m := len(p.cons) + len(bounds)
 	if m == 0 {
 		// Unconstrained: minimum of cᵀx with x ≥ 0 is 0 unless some c < 0.
 		for _, c := range p.obj {
 			if c < -eps {
-				return &Solution{Status: Unbounded}, nil
+				return Solution{Status: Unbounded}, nil
 			}
 		}
-		return &Solution{Status: Optimal, X: make([]float64, p.numVars)}, nil
+		x := growF(&sc.x, p.numVars)
+		for i := range x {
+			x[i] = 0
+		}
+		return Solution{Status: Optimal, X: x}, nil
 	}
 	if m > maxSize || p.numVars > maxSize*4 {
-		return nil, fmt.Errorf("%w: %d rows × %d vars", ErrTooLarge, m, p.numVars)
+		return Solution{}, fmt.Errorf("%w: %d rows × %d vars", ErrTooLarge, m, p.numVars)
 	}
 
 	// Column layout: [structural | slack/surplus | artificial].
 	nStruct := p.numVars
 	nSlack := 0
 	nArt := 0
-	for _, c := range p.cons {
-		rhs := c.RHS
-		op := c.Op
+	countRow := func(op Op, rhs float64) {
 		if rhs < 0 {
 			// Normalizing flips the operator.
-			switch op {
-			case LE:
-				op = GE
-			case GE:
-				op = LE
-			}
+			op = flipOp(op)
 		}
 		switch op {
 		case LE:
@@ -194,29 +274,34 @@ func (p *Problem) Solve() (*Solution, error) {
 			nArt++
 		}
 	}
+	for _, c := range p.cons {
+		countRow(c.Op, c.RHS)
+	}
+	for _, bd := range bounds {
+		countRow(bd.Op, bd.RHS)
+	}
 	nCols := nStruct + nSlack + nArt
-	t := newTableau(m, nCols)
+	t := sc.tableau(m, nCols)
 
 	slackAt := nStruct
 	artAt := nStruct + nSlack
-	basis := make([]int, m)
-	artCols := make([]bool, nCols)
-	for i, c := range p.cons {
+	basis := growI(&sc.basis, m)
+	artCols := sc.boolRow(nCols)
+	// fillRow writes row i. Ordinary constraints pass their sparse Coefs;
+	// overlay bounds pass coefs == nil with the implicit single +1 on bvar.
+	fillRow := func(i int, coefs []Coef, bvar int, op Op, rhs float64) {
 		sign := 1.0
-		op := c.Op
-		rhs := c.RHS
 		if rhs < 0 {
 			sign = -1
 			rhs = -rhs
-			switch op {
-			case LE:
-				op = GE
-			case GE:
-				op = LE
-			}
+			op = flipOp(op)
 		}
-		for _, cf := range c.Coefs {
-			t.a[i][cf.Var] += sign * cf.Value
+		if coefs != nil {
+			for _, cf := range coefs {
+				t.a[i][cf.Var] += sign * cf.Value
+			}
+		} else {
+			t.a[i][bvar] += sign
 		}
 		t.b[i] = rhs
 		switch op {
@@ -238,21 +323,31 @@ func (p *Problem) Solve() (*Solution, error) {
 			artAt++
 		}
 	}
+	for i, c := range p.cons {
+		fillRow(i, c.Coefs, 0, c.Op, c.RHS)
+	}
+	for k, bd := range bounds {
+		fillRow(len(p.cons)+k, nil, bd.Var, bd.Op, bd.RHS)
+	}
+
+	rc := growF(&sc.rc, nCols)
 
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
-		phase1 := make([]float64, nCols)
+		phase1 := growF(&sc.phase1, nCols)
 		for j := range phase1 {
 			if artCols[j] {
 				phase1[j] = 1
+			} else {
+				phase1[j] = 0
 			}
 		}
-		status := t.run(phase1, basis, nil)
+		status := t.run(phase1, basis, nil, rc)
 		if status == Unbounded {
-			return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+			return Solution{}, fmt.Errorf("lp: phase 1 unbounded (internal error)")
 		}
 		if t.objective(phase1, basis) > 1e-7 {
-			return &Solution{Status: Infeasible}, nil
+			return Solution{Status: Infeasible}, nil
 		}
 		// Pivot remaining artificials out of the basis when possible.
 		for i, bv := range basis {
@@ -274,13 +369,19 @@ func (p *Problem) Solve() (*Solution, error) {
 
 	// Phase 2: original objective, artificials blocked.
 	blocked := artCols
-	phase2 := make([]float64, nCols)
-	copy(phase2, p.obj)
-	status := t.run(phase2, basis, blocked)
-	if status == Unbounded {
-		return &Solution{Status: Unbounded}, nil
+	phase2 := growF(&sc.phase2, nCols)
+	n := copy(phase2, p.obj)
+	for j := n; j < nCols; j++ {
+		phase2[j] = 0
 	}
-	x := make([]float64, p.numVars)
+	status := t.run(phase2, basis, blocked, rc)
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := growF(&sc.x, p.numVars)
+	for i := range x {
+		x[i] = 0
+	}
 	for i, bv := range basis {
 		if bv < p.numVars {
 			x[bv] = t.b[i]
@@ -290,7 +391,48 @@ func (p *Problem) Solve() (*Solution, error) {
 	for j, c := range p.obj {
 		objVal += c * x[j]
 	}
-	return &Solution{Status: Optimal, Objective: objVal, X: x}, nil
+	return Solution{Status: Optimal, Objective: objVal, X: x}, nil
+}
+
+// ObjectiveValue evaluates cᵀx for a candidate point (len(x) must equal
+// NumVars).
+func (p *Problem) ObjectiveValue(x []float64) float64 {
+	v := 0.0
+	for j, c := range p.obj {
+		v += c * x[j]
+	}
+	return v
+}
+
+// Feasible reports whether x satisfies every constraint within tol (scaled
+// by the row's magnitude), used to vet warm-start points before adopting
+// them as branch-and-bound incumbents.
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	if len(x) != p.numVars {
+		return false
+	}
+	for _, c := range p.cons {
+		lhs := 0.0
+		for _, cf := range c.Coefs {
+			lhs += cf.Value * x[cf.Var]
+		}
+		slack := tol * (1 + math.Abs(c.RHS))
+		switch c.Op {
+		case LE:
+			if lhs > c.RHS+slack {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-slack {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > slack {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 type tableau struct {
@@ -299,13 +441,36 @@ type tableau struct {
 	b    []float64
 }
 
-func newTableau(m, n int) *tableau {
-	t := &tableau{m: m, n: n, a: make([][]float64, m), b: make([]float64, m)}
-	backing := make([]float64, m*n)
-	for i := range t.a {
-		t.a[i], backing = backing[:n], backing[n:]
+// tableau carves an m×n zeroed tableau out of the scratch buffers.
+func (sc *Scratch) tableau(m, n int) *tableau {
+	need := m * n
+	if cap(sc.cells) < need {
+		sc.cells = make([]float64, need)
 	}
-	return t
+	cells := sc.cells[:need]
+	for i := range cells {
+		cells[i] = 0
+	}
+	if cap(sc.rows) < m {
+		sc.rows = make([][]float64, m)
+	}
+	rows := sc.rows[:m]
+	for i := 0; i < m; i++ {
+		rows[i] = cells[i*n : (i+1)*n : (i+1)*n]
+	}
+	sc.tab = tableau{m: m, n: n, a: rows, b: growF(&sc.b, m)}
+	return &sc.tab
+}
+
+func (sc *Scratch) boolRow(n int) []bool {
+	if cap(sc.artCols) < n {
+		sc.artCols = make([]bool, n)
+	}
+	row := sc.artCols[:n]
+	for i := range row {
+		row[i] = false
+	}
+	return row
 }
 
 // reducedCosts computes c_j - c_Bᵀ B⁻¹ A_j for all columns given the
@@ -333,9 +498,9 @@ func (t *tableau) objective(c []float64, basis []int) float64 {
 }
 
 // run optimizes the given objective from the current basis. blocked columns
-// may not enter.
-func (t *tableau) run(c []float64, basis []int, blocked []bool) Status {
-	rc := make([]float64, t.n)
+// may not enter; rc is the caller-provided pricing buffer (len ≥ t.n).
+func (t *tableau) run(c []float64, basis []int, blocked []bool, rc []float64) Status {
+	rc = rc[:t.n]
 	// Iteration cap: generous; Bland's rule kicks in late to guarantee
 	// termination.
 	maxIter := 50 * (t.m + t.n)

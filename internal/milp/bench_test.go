@@ -1,0 +1,43 @@
+package milp
+
+import (
+	"fmt"
+	"testing"
+
+	"ugache/internal/lp"
+)
+
+// BenchmarkMILPSolve measures branch-and-bound throughput on a makespan
+// placement instance that genuinely branches (14 entries, capacity 6,
+// hotness plateaus of 2). The workers=1 vs workers=4 pair is the parallel
+// scaling headline of BENCH_solver.json; both must return the identical
+// solution (TestDeterminismAcrossWorkers pins that), only the wall time
+// and nodes/s may differ. On a single-core host the two are expected to
+// tie — the scaling claim only manifests with real cores.
+func BenchmarkMILPSolve(b *testing.B) {
+	p, ints := placementInstance(b, 14, 6, 2)
+	base, err := Solve(p, ints, Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var nodes int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := Solve(p, ints, Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Status != lp.Optimal || sol.Objective != base.Objective {
+					b.Fatalf("status %v objective %v, want optimal %v",
+						sol.Status, sol.Objective, base.Objective)
+				}
+				nodes += int64(sol.Nodes)
+			}
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes")
+			b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+		})
+	}
+}

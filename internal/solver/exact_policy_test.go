@@ -1,0 +1,241 @@
+package solver
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"ugache/internal/platform"
+	"ugache/internal/workload"
+)
+
+// microInput builds the same 2-GPU reduced instance family as
+// TestUGacheMatchesEntryMILP: n entries, Zipf-ish hotness, per-GPU capacity.
+func microInput(t testing.TB, n int, capacity int64) *Input {
+	t.Helper()
+	pair := [][]float64{{0, 50e9}, {50e9, 0}}
+	p, err := platform.New(platform.Config{
+		Name: "2xV100", Kind: platform.HardWired, GPU: platform.V100x16, N: 2,
+		PCIeBW: 12e9, DRAMBW: 140e9, PairBW: pair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := make(workload.Hotness, n)
+	for e := 0; e < n; e++ {
+		h[e] = math.Pow(float64(e+1), -1.2) * 1000
+	}
+	return &Input{P: p, Hotness: h, EntryBytes: 512, Capacity: []int64{capacity, capacity}}
+}
+
+// TestExactPolicyCertificate checks the Exact policy's defining property:
+// the realized placement's modelled makespan equals the MILP objective, and
+// LowerBound is a matching optimality certificate on a complete solve.
+func TestExactPolicyCertificate(t *testing.T) {
+	in := microInput(t, 24, 8)
+	pl := mustSolve(t, Exact{MaxBlocks: 6}, in)
+	if err := pl.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Policy != "exact" {
+		t.Fatalf("policy %q", pl.Policy)
+	}
+	if pl.SolveNodes <= 0 {
+		t.Fatalf("SolveNodes not recorded: %d", pl.SolveNodes)
+	}
+	makespan := maxF(pl.EstTimes)
+	if pl.LowerBound <= 0 {
+		t.Fatalf("LowerBound not set: %g", pl.LowerBound)
+	}
+	if rel := math.Abs(makespan-pl.LowerBound) / pl.LowerBound; rel > 1e-6 {
+		t.Fatalf("makespan %g vs certificate %g (rel %g): exact realization must match the MILP objective",
+			makespan, pl.LowerBound, rel)
+	}
+}
+
+// TestExactDeterminismAcrossWorkers: any worker count yields a byte-
+// identical placement (Save bytes) with identical EstTimes and LowerBound.
+// SolveNodes is excluded — exploration effort varies, the answer does not.
+func TestExactDeterminismAcrossWorkers(t *testing.T) {
+	in := microInput(t, 24, 8)
+	ex := Exact{MaxBlocks: 6}
+	base, err := ex.SolveOpt(in, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseBuf bytes.Buffer
+	if err := base.Save(&baseBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		for rep := 0; rep < 2; rep++ {
+			pl, err := ex.SolveOpt(in, Options{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := pl.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), baseBuf.Bytes()) {
+				t.Fatalf("W=%d rep %d: placement bytes differ from W=1", w, rep)
+			}
+			if pl.LowerBound != base.LowerBound {
+				t.Fatalf("W=%d rep %d: LowerBound %v != %v", w, rep, pl.LowerBound, base.LowerBound)
+			}
+			for i := range pl.EstTimes {
+				if pl.EstTimes[i] != base.EstTimes[i] {
+					t.Fatalf("W=%d rep %d: EstTimes[%d] %v != %v", w, rep, i, pl.EstTimes[i], base.EstTimes[i])
+				}
+			}
+		}
+	}
+}
+
+// driftHotness perturbs the hotness multiplicatively and deterministically:
+// the ranking mostly survives, the block masses shift — the refresh loop's
+// drifted re-solve input.
+func driftHotness(h workload.Hotness, strength float64) workload.Hotness {
+	out := make(workload.Hotness, len(h))
+	for e := range h {
+		// Deterministic per-entry jitter in [1-strength, 1+strength].
+		f := 1 + strength*math.Sin(float64(e)*2.39996)
+		out[e] = h[e] * f
+	}
+	return out
+}
+
+// TestExactWarmStartCheaper: re-solving a drifted instance warm-started
+// from the previous placement must not explore more nodes than a cold
+// re-solve, and must return the same placement (warm starts change the
+// work, never the answer, on complete solves with a tie-compatible warm
+// point rejected or dominated).
+func TestExactWarmStartCheaper(t *testing.T) {
+	in := microInput(t, 24, 8)
+	ex := Exact{MaxBlocks: 6}
+	old, err := ex.SolveOpt(in, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := &Input{P: in.P, Hotness: driftHotness(in.Hotness, 0.15),
+		EntryBytes: in.EntryBytes, Capacity: in.Capacity}
+	cold, err := ex.SolveOpt(drifted, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ex.SolveOpt(drifted, Options{Workers: 1, WarmStart: old})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.SolveNodes > cold.SolveNodes {
+		t.Fatalf("warm re-solve explored more nodes than cold: %d > %d",
+			warm.SolveNodes, cold.SolveNodes)
+	}
+	t.Logf("cold %d nodes, warm %d nodes (%.0f%%)",
+		cold.SolveNodes, warm.SolveNodes, 100*float64(warm.SolveNodes)/float64(cold.SolveNodes))
+	if warm.LowerBound != cold.LowerBound {
+		t.Fatalf("warm LowerBound %v != cold %v", warm.LowerBound, cold.LowerBound)
+	}
+}
+
+// TestExactWarmStartGapMode pins the refresh loop's configuration: with a
+// small relative gap (online re-solves do not need a full optimality
+// proof), a warm start skips the incumbent-discovery phase entirely and
+// the drifted re-solve finishes in a fraction of the cold node count.
+func TestExactWarmStartGapMode(t *testing.T) {
+	in := microInput(t, 96, 32)
+	ex := Exact{MaxBlocks: 10}
+	opt := Options{Workers: 1, RelGap: 0.02}
+	old, err := ex.SolveOpt(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := &Input{P: in.P, Hotness: driftHotness(in.Hotness, 0.1),
+		EntryBytes: in.EntryBytes, Capacity: in.Capacity}
+	cold, err := ex.SolveOpt(drifted, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wopt := opt
+	wopt.WarmStart = old
+	warm, err := ex.SolveOpt(drifted, wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Validate(drifted); err != nil {
+		t.Fatal(err)
+	}
+	if warm.SolveNodes*2 > cold.SolveNodes {
+		t.Fatalf("warm gap-mode re-solve should halve the cold node count: warm %d vs cold %d",
+			warm.SolveNodes, cold.SolveNodes)
+	}
+	t.Logf("gap mode: cold %d nodes, warm %d nodes (%.0f%%)",
+		cold.SolveNodes, warm.SolveNodes, 100*float64(warm.SolveNodes)/float64(cold.SolveNodes))
+}
+
+// TestExactWarmStartStale: a warm placement from a mismatched instance is
+// ignored, not an error.
+func TestExactWarmStartStale(t *testing.T) {
+	in := microInput(t, 24, 8)
+	ex := Exact{MaxBlocks: 6}
+	smaller := microInput(t, 12, 4)
+	oldSmall, err := ex.SolveOpt(smaller, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := ex.SolveOpt(in, Options{WarmStart: oldSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveWith dispatches through the OptionedPolicy interface when
+// available and falls back to plain Solve for approximation policies.
+func TestSolveWith(t *testing.T) {
+	in := microInput(t, 24, 8)
+	pl, err := SolveWith(UGache{}, in, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Policy != "ugache" {
+		t.Fatalf("fallback policy %q", pl.Policy)
+	}
+	pl, err = SolveWith(Exact{MaxBlocks: 6}, in, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Policy != "exact" || pl.SolveNodes == 0 {
+		t.Fatalf("optioned dispatch failed: policy %q nodes %d", pl.Policy, pl.SolveNodes)
+	}
+}
+
+// TestExactConcurrentSolves runs parallel-worker solves from several
+// goroutines at once (meaningful under -race).
+func TestExactConcurrentSolves(t *testing.T) {
+	in := microInput(t, 16, 6)
+	ex := Exact{MaxBlocks: 4}
+	base, err := ex.SolveOpt(in, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pl, err := ex.SolveOpt(in, Options{Workers: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if pl.LowerBound != base.LowerBound {
+				t.Errorf("LowerBound %v != base %v", pl.LowerBound, base.LowerBound)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -334,8 +334,9 @@ func blockMean(c *ctx, start, end int64) float64 {
 	return c.mass(start, end) / float64(end-start)
 }
 
-// solveGeneral builds the full §6.2 block model with per-reader access
-// variables for asymmetric platforms.
+// solveGeneral solves the full §6.2 block model with per-reader access
+// variables for asymmetric platforms (the shared blockModel, see exact.go),
+// as a fractional LP with rounded realization.
 func (o OptimalLP) solveGeneral(in *Input) (*Placement, error) {
 	maxBlocks := o.MaxGeneralBlocks
 	if maxBlocks <= 0 {
@@ -343,95 +344,13 @@ func (o OptimalLP) solveGeneral(in *Input) (*Placement, error) {
 	}
 	c := newCtx(in)
 	blocks := c.buildQuantile(maxBlocks)
-	g := in.P.N
-	srcs := in.P.NumSources()
-	m := newCostModel(in.P)
-	nb := len(blocks)
-	totalBytes := c.mass(0, c.numEntries()) * float64(in.EntryBytes)
-	scale := 1.0
-	if hostInv := m.invEff[0][int(in.P.Host())]; totalBytes > 0 && hostInv > 0 {
-		scale = 1 / (totalBytes * hostInv)
-	}
-
-	// Variables: a[b][i][j], s[b][j'] (j' over GPUs only), z.
-	av := func(b, i, j int) int { return (b*g+i)*srcs + j }
-	sv := func(b, j int) int { return nb*g*srcs + b*g + j }
-	zVar := nb*g*srcs + nb*g
-	obj := make([]float64, zVar+1)
-	obj[zVar] = 1
-	prob, err := lp.NewProblem(zVar+1, obj)
+	bm, err := buildBlockModel(in, c, blocks)
 	if err != nil {
 		return nil, err
 	}
+	g := in.P.N
 
-	for b := 0; b < nb; b++ {
-		bytes := blocks[b].Mass() * float64(in.EntryBytes)
-		for i := 0; i < g; i++ {
-			// Σ_j a = 1 over reachable sources.
-			var coefs []lp.Coef
-			for j := 0; j < srcs; j++ {
-				if math.IsInf(m.invEff[i][j], 1) {
-					continue // unconnected: variable pruned (paper §6.2)
-				}
-				coefs = append(coefs, lp.Coef{Var: av(b, i, j), Value: 1})
-			}
-			if err := prob.AddConstraint(coefs, lp.EQ, 1); err != nil {
-				return nil, err
-			}
-			// s ≥ a for GPU sources.
-			for j := 0; j < g; j++ {
-				if math.IsInf(m.invEff[i][j], 1) {
-					continue
-				}
-				if err := prob.AddConstraint([]lp.Coef{
-					{Var: sv(b, j), Value: 1}, {Var: av(b, i, j), Value: -1},
-				}, lp.GE, 0); err != nil {
-					return nil, err
-				}
-			}
-		}
-		// s ≤ 1.
-		for j := 0; j < g; j++ {
-			if err := prob.AddConstraint([]lp.Coef{{Var: sv(b, j), Value: 1}}, lp.LE, 1); err != nil {
-				return nil, err
-			}
-		}
-		_ = bytes
-	}
-	// Capacity per GPU.
-	for j := 0; j < g; j++ {
-		coefs := make([]lp.Coef, 0, nb)
-		for b := 0; b < nb; b++ {
-			coefs = append(coefs, lp.Coef{Var: sv(b, j), Value: float64(blocks[b].Entries())})
-		}
-		if err := prob.AddConstraint(coefs, lp.LE, float64(in.Capacity[j])); err != nil {
-			return nil, err
-		}
-	}
-	// Time bounds: z ≥ t_i^j (link) and z ≥ packing_i.
-	for i := 0; i < g; i++ {
-		var packCoefs []lp.Coef
-		packCoefs = append(packCoefs, lp.Coef{Var: zVar, Value: 1})
-		for j := 0; j < srcs; j++ {
-			if math.IsInf(m.invEff[i][j], 1) {
-				continue
-			}
-			coefs := []lp.Coef{{Var: zVar, Value: 1}}
-			for b := 0; b < nb; b++ {
-				bytes := blocks[b].Mass() * float64(in.EntryBytes) * scale
-				coefs = append(coefs, lp.Coef{Var: av(b, i, j), Value: -bytes * m.invEff[i][j]})
-				packCoefs = append(packCoefs, lp.Coef{Var: av(b, i, j), Value: -bytes * m.packCost[i][j]})
-			}
-			if err := prob.AddConstraint(coefs, lp.GE, 0); err != nil {
-				return nil, err
-			}
-		}
-		if err := prob.AddConstraint(packCoefs, lp.GE, 0); err != nil {
-			return nil, err
-		}
-	}
-
-	sol, err := prob.Solve()
+	sol, err := bm.prob.Solve()
 	if err != nil {
 		return nil, fmt.Errorf("solver: general optimal LP: %w", err)
 	}
@@ -442,22 +361,22 @@ func (o OptimalLP) solveGeneral(in *Input) (*Placement, error) {
 	// Round: store where s ≥ 0.5, then greedy-repair capacity and reassign
 	// access by cheapest reachable source.
 	capLeft := append([]int64(nil), in.Capacity...)
-	for b := 0; b < nb; b++ {
+	for b := 0; b < bm.nb; b++ {
 		blk := &blocks[b]
 		for j := 0; j < g; j++ {
-			if sol.X[sv(b, j)] >= 0.5 && capLeft[j] >= blk.Entries() {
+			if sol.X[bm.sv(b, j)] >= 0.5 && capLeft[j] >= blk.Entries() {
 				blk.Store[j] = true
 				capLeft[j] -= blk.Entries()
 			}
 		}
 		for i := 0; i < g; i++ {
 			best := in.P.Host()
-			bestCost := m.perByteCost(i, best)
+			bestCost := bm.m.perByteCost(i, best)
 			for j := 0; j < g; j++ {
 				if !blk.Store[j] || (i != j && !in.P.Connected(i, j)) {
 					continue
 				}
-				if cost := m.perByteCost(i, platform.SourceID(j)); cost < bestCost {
+				if cost := bm.m.perByteCost(i, platform.SourceID(j)); cost < bestCost {
 					best, bestCost = platform.SourceID(j), cost
 				}
 			}
@@ -465,6 +384,6 @@ func (o OptimalLP) solveGeneral(in *Input) (*Placement, error) {
 		}
 	}
 	pl := newPlacement(c, "optimal-lp", blocks)
-	pl.LowerBound = sol.Objective / scale
+	pl.LowerBound = sol.Objective / bm.scale
 	return pl, nil
 }

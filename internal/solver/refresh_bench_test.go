@@ -1,0 +1,43 @@
+package solver
+
+import (
+	"testing"
+)
+
+// BenchmarkRefreshSolve measures the control-plane re-solve a cache refresh
+// performs: the Exact policy on a drifted-hotness instance under the
+// refresh loop's configuration (2% relative gap — online re-solves do not
+// need a full optimality proof). cold starts from scratch; warm seeds the
+// search with the pre-drift placement the way core.Refresh does, which
+// skips incumbent discovery and should cut the node count to a fraction
+// (BENCH_solver.json records the pair).
+func BenchmarkRefreshSolve(b *testing.B) {
+	in := microInput(b, 96, 32)
+	ex := Exact{MaxBlocks: 10}
+	opt := Options{Workers: 1, RelGap: 0.02}
+	old, err := ex.SolveOpt(in, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drifted := &Input{P: in.P, Hotness: driftHotness(in.Hotness, 0.1),
+		EntryBytes: in.EntryBytes, Capacity: in.Capacity}
+	run := func(b *testing.B, opt Options) {
+		var nodes int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pl, err := ex.SolveOpt(drifted, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes += pl.SolveNodes
+		}
+		b.ReportMetric(float64(nodes)/float64(b.N), "nodes")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, opt) })
+	b.Run("warm", func(b *testing.B) {
+		wopt := opt
+		wopt.WarmStart = old
+		run(b, wopt)
+	})
+}

@@ -112,8 +112,14 @@ type Placement struct {
 	// (§6.2), filled by policies that plan with the model.
 	EstTimes []float64
 	// LowerBound, when non-zero, is a proven lower bound on the optimal
-	// modelled makespan (set by OptimalLP).
+	// modelled makespan (set by OptimalLP and Exact).
 	LowerBound float64
+	// SolveNodes, when non-zero, is the number of branch-and-bound nodes the
+	// policy expanded to produce this placement (set by Exact). With
+	// parallel workers the count varies run to run even though the
+	// placement itself does not, so it is diagnostic, not part of the
+	// placement's identity, and is not persisted by Save.
+	SolveNodes int64
 }
 
 // NumEntries returns the entry count.
