@@ -1,11 +1,11 @@
 GO ?= go
 
-RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline ./internal/milp ./internal/solver
+RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline ./internal/milp ./internal/solver ./internal/workload ./internal/baselines
 
 # Packages with testing.B microbenchmarks on the extraction hot path.
 BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve
 
-.PHONY: check build test vet fmt race bench bench-solver figures trace-smoke
+.PHONY: check build test vet fmt race bench bench-solver bench-drift figures trace-smoke
 
 check: fmt vet build test race
 
@@ -39,6 +39,12 @@ bench:
 bench-solver:
 	$(GO) test -run xxx -bench BenchmarkMILPSolve -benchmem ./internal/milp
 	$(GO) test -run xxx -bench BenchmarkRefreshSolve -benchmem ./internal/solver
+
+# Drift-adaptive refresh benchmark: served p99 through a flash-crowd shift
+# under blind-periodic vs drift-triggered refresh vs an online LFU baseline
+# (regenerates the checked-in BENCH_drift.json).
+bench-drift:
+	$(GO) run ./cmd/ugache-bench -exp drift -scale 0.25 -json-out BENCH_drift.json
 
 # Regenerate the paper's tables and figures (minutes at full scale).
 figures:

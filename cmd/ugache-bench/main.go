@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "pre-warm worker pool size (0 = one per CPU, 1 = sequential)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		telem      = flag.Bool("telemetry", false, "instrument the experiments' core systems and print a summary table of all collected metrics")
+		jsonOut    = flag.String("json-out", "", "write the machine-readable reports of experiments that produce one (e.g. drift) to this JSON file")
 		timelineF  = flag.String("timeline", "", "record refresh/solver spans from the instrumented experiments and write Chrome trace-event JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -48,7 +50,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 		os.Exit(1)
 	}
-	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *list, *telem, *timelineF)
+	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *list, *telem, *timelineF, *jsonOut)
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 		if code == 0 {
@@ -58,7 +60,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(exps string, scale float64, iters int, seed uint64, quick bool, workers int, list, telem bool, timelineF string) int {
+func run(exps string, scale float64, iters int, seed uint64, quick bool, workers int, list, telem bool, timelineF, jsonOut string) int {
 	if list {
 		names := bench.Names()
 		sort.Strings(names)
@@ -84,6 +86,7 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 		opt.Timeline = tl
 	}
 	failed := 0
+	jsonReports := map[string]any{}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		t0 := time.Now()
@@ -94,6 +97,17 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 			continue
 		}
 		fmt.Printf("### %s (%.1fs)\n\n%s\n", name, time.Since(t0).Seconds(), res.Text)
+		if res.JSON != nil {
+			jsonReports[res.Name] = res.JSON
+		}
+	}
+	if jsonOut != "" {
+		if err := writeJSON(jsonReports, jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("### json\n\nwrote %d report(s) to %s\n", len(jsonReports), jsonOut)
+		}
 	}
 	if reg != nil {
 		samples := reg.Samples()
@@ -119,6 +133,23 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 		return 1
 	}
 	return 0
+}
+
+// writeJSON marshals the collected machine-readable reports. A single
+// report is written bare (BENCH_drift.json holds the drift report itself);
+// multiple reports nest under their experiment names.
+func writeJSON(reports map[string]any, path string) error {
+	var payload any = reports
+	if len(reports) == 1 {
+		for _, r := range reports {
+			payload = r
+		}
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeTimeline exports the recorder's spans as Chrome trace-event JSON.

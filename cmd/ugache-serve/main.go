@@ -53,6 +53,10 @@ type options struct {
 	traceDepth int
 	traceOut   string
 	refresh    bool
+	mode       string
+	driftThr   float64
+	checkEvery int
+	period     int
 	workers    int
 	relgap     float64
 }
@@ -72,7 +76,11 @@ func main() {
 	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /debug/trace, /debug/timeline, /healthz and /readyz on this address (e.g. :9090); keeps the process alive after the run until interrupted")
 	flag.IntVar(&o.traceDepth, "trace-depth", 256, "per-batch trace ring depth (negative disables tracing)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "record a span timeline and write Chrome trace-event JSON (Perfetto / chrome://tracing) to this file at exit")
-	flag.BoolVar(&o.refresh, "refresh", false, "sample hotness during the run and trigger one §7.2 cache refresh after the client loop")
+	flag.BoolVar(&o.refresh, "refresh", false, "shorthand for -refresh-mode post")
+	flag.StringVar(&o.mode, "refresh-mode", "off", "refresh policy: off, post (one refresh after the client loop), periodic (blind cadence) or drift (re-solve when measured hotness drifts)")
+	flag.Float64Var(&o.driftThr, "drift-threshold", 0, "drift score above which a re-solve triggers (0 = detector default 0.3)")
+	flag.IntVar(&o.checkEvery, "drift-check-every", 0, "batches between drift checks (0 = controller default 32)")
+	flag.IntVar(&o.period, "refresh-period", 0, "batches between periodic-mode re-solves (0 = controller default 512)")
 	flag.IntVar(&o.workers, "solver-workers", 0, "branch-and-bound workers for optioned policies (0/1 sequential, -1 all cores)")
 	flag.Float64Var(&o.relgap, "relgap", 0, "relative optimality gap for optioned policies (0 proves optimality)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -115,6 +123,17 @@ func platformByName(name string) (*platform.Platform, error) {
 }
 
 func run(o options) error {
+	// -refresh-mode post (and its -refresh shorthand) is a command-level
+	// policy: one refresh after the client loop. The in-loop policies
+	// (periodic, drift) are the controller's.
+	post := o.refresh || strings.EqualFold(o.mode, "post")
+	mode := core.RefreshOff
+	if !strings.EqualFold(o.mode, "post") {
+		var err error
+		if mode, err = core.ParseRefreshMode(o.mode); err != nil {
+			return err
+		}
+	}
 	spec, err := specByName(o.dataset)
 	if err != nil {
 		return err
@@ -169,8 +188,34 @@ func run(o options) error {
 		p.Name, o.ratio, time.Since(t0).Seconds())
 
 	var sampler *cache.HotnessSampler
-	if o.refresh {
+	if post || mode != core.RefreshOff {
 		sampler = cache.NewHotnessSampler(n, 1)
+	}
+	var ctrl *core.Controller
+	if mode != core.RefreshOff {
+		ctrl, err = core.NewController(sys, core.ControllerConfig{
+			Mode:          mode,
+			Sampler:       sampler,
+			CheckEvery:    o.checkEvery,
+			PeriodBatches: o.period,
+			Drift:         cache.DriftConfig{Threshold: o.driftThr},
+			Telemetry:     reg,
+			Async:         true,
+		})
+		if err != nil {
+			return err
+		}
+		switch mode {
+		case core.RefreshDrift:
+			dc := ctrl.Detector().Config()
+			fmt.Printf("refresh mode drift: top-%d overlap + rank distance, threshold %.2f\n", dc.TopK, dc.Threshold)
+		case core.RefreshPeriodic:
+			period := o.period
+			if period <= 0 {
+				period = 512
+			}
+			fmt.Printf("refresh mode periodic: re-solve every %d batches\n", period)
+		}
 	}
 	srv, err := serve.New(sys, serve.Config{
 		MaxBatchKeys: o.maxBatch,
@@ -178,6 +223,7 @@ func run(o options) error {
 		Telemetry:    reg,
 		TraceDepth:   o.traceDepth,
 		Sampler:      sampler,
+		Controller:   ctrl,
 		Timeline:     tl,
 	})
 	if err != nil {
@@ -193,6 +239,20 @@ func run(o options) error {
 		finalizeOnce.Do(func() {
 			health.SetReady(false)
 			srv.Close()
+			if ctrl != nil {
+				ctrl.Wait()
+				cst := ctrl.Stats()
+				fmt.Printf("controller:        %d batches, %d checks, %d refreshes, %d errors\n",
+					cst.Batches, cst.Checks, cst.Refreshes, cst.Errors)
+				if mode == core.RefreshDrift {
+					fmt.Printf("drift:             last score %.3f (overlap %.3f, rank distance %.3f)\n",
+						cst.LastScore, cst.LastOverlap, cst.LastRankDistance)
+				}
+				if cst.Refreshes > 0 {
+					fmt.Printf("incremental delta: last refresh moved %d entries (full rebuild: %d)\n",
+						cst.LastMoved, cst.LastRebuild)
+				}
+			}
 			if o.traceOut != "" {
 				if err := writeTrace(tl, o.traceOut); err != nil {
 					fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", err)
@@ -321,7 +381,7 @@ func run(o options) error {
 
 	// One §7.2 refresh against the hotness measured during the run, so the
 	// control tracks (solver + refresh steps) appear in the timeline.
-	if o.refresh {
+	if post {
 		measured, err := sampler.Hotness()
 		if err != nil {
 			return fmt.Errorf("refresh: %w", err)

@@ -72,6 +72,9 @@ func (o Options) memScale() float64 {
 type Result struct {
 	Name string
 	Text string
+	// JSON, when non-nil, is a machine-readable report of the same run
+	// (cmd/ugache-bench -json-out marshals it; BENCH_drift.json is one).
+	JSON any
 }
 
 // Experiment is a registry entry.

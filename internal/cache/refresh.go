@@ -148,7 +148,10 @@ func emitTimeline(rec *timeline.Recorder, wallStart float64, rep *RefreshReport,
 	}
 }
 
-// publish pushes one refresh report into the gauges.
+// publish pushes one refresh report into the gauges. A report without solve
+// statistics zeroes the solve-wall gauges: they describe the *last* refresh,
+// and leaving a previous MILP solve's numbers published after a heuristic or
+// LP refresh would misattribute that solve to the wrong placement.
 func (m *refreshMetrics) publish(rep *RefreshReport) {
 	m.total.Add(0, 1)
 	m.duration.Set(rep.Duration)
@@ -160,6 +163,9 @@ func (m *refreshMetrics) publish(rep *RefreshReport) {
 	if st := rep.Solve; st != nil {
 		m.solveWall.Set(st.WallSeconds)
 		m.solveNodes.Set(float64(st.Nodes))
+	} else {
+		m.solveWall.Set(0)
+		m.solveNodes.Set(0)
 	}
 }
 
@@ -262,6 +268,21 @@ func (h *HotnessSampler) Batches() int {
 // Hotness merges the shards into the measured per-entry expected accesses
 // per iteration.
 func (h *HotnessSampler) Hotness() (workload.Hotness, error) {
+	out := make(workload.Hotness, h.numEntries)
+	if _, err := h.HotnessInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HotnessInto merges the shards into dst (len NumEntries, overwritten) and
+// returns how many batches the merge covers. It allocates nothing, so a
+// periodic caller — the drift detector — can re-merge against a reused
+// buffer as observation continues.
+func (h *HotnessSampler) HotnessInto(dst workload.Hotness) (int, error) {
+	if int64(len(dst)) != h.numEntries {
+		return 0, fmt.Errorf("cache: hotness buffer for %d entries, sampler has %d", len(dst), h.numEntries)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sampled := 0
@@ -271,19 +292,38 @@ func (h *HotnessSampler) Hotness() (workload.Hotness, error) {
 		s.mu.Unlock()
 	}
 	if sampled == 0 {
-		return nil, fmt.Errorf("cache: no batches sampled")
+		return 0, fmt.Errorf("cache: no batches sampled")
 	}
-	out := make(workload.Hotness, h.numEntries)
+	clear(dst)
 	inv := 1 / float64(sampled)
 	for _, s := range h.shards {
 		s.mu.Lock()
 		for i, c := range s.counts {
-			out[i] += c * inv
+			dst[i] += c * inv
 		}
 		s.mu.Unlock()
 	}
-	return out, nil
+	return sampled, nil
 }
+
+// Reset zeroes every shard's counts and batch tally, starting a fresh
+// observation window. The refresh controller calls it right after a
+// placement refresh so the next drift check measures post-refresh traffic
+// rather than averaging across the shift it just reacted to.
+func (h *HotnessSampler) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.shards {
+		s.mu.Lock()
+		clear(s.counts)
+		s.sampled = 0
+		s.seen = 0
+		s.mu.Unlock()
+	}
+}
+
+// NumEntries returns the entry count the sampler was built for.
+func (h *HotnessSampler) NumEntries() int64 { return h.numEntries }
 
 // SolveStats describes the real policy solve that produced the placement
 // being applied — measured wall time and branch-and-bound effort — as
@@ -361,8 +401,13 @@ type RefreshReport struct {
 	UpdateSeconds   float64
 	EvictedEntries  int64
 	InsertedEntries int64
-	MeanImpact      float64 // average iteration-time inflation during refresh
-	Timeline        []RefreshStep
+	// RebuildEntries is what a from-scratch application of the new placement
+	// would have moved (evict every stored entry of the old placement, then
+	// insert every stored entry of the new one). EvictedEntries +
+	// InsertedEntries vs RebuildEntries is the incremental-delta saving.
+	RebuildEntries int64
+	MeanImpact     float64 // average iteration-time inflation during refresh
+	Timeline       []RefreshStep
 	// Solve carries the real solve's statistics when the caller provided
 	// them in RefreshConfig.Solve; nil otherwise.
 	Solve *SolveStats
@@ -404,21 +449,17 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 		return nil, fmt.Errorf("cache: invalid refresh config")
 	}
 
-	// Diff old vs new storage per GPU.
+	// Diff old vs new storage per GPU, once: the same per-GPU evict/insert
+	// lists drive the update-phase accounting below AND the apply phase, so
+	// the diff is never recomputed (the old code built O(entries) key-set
+	// maps per GPU twice). The delta is computed entry-wise against both
+	// placements' block tables — no per-GPU key sets are materialized at
+	// all, which is what makes the apply incremental rather than a rebuild.
+	delta := placementDelta(old.placement, newPl, s.P.N)
 	var evicted, inserted int64
-	for g := 0; g < s.P.N; g++ {
-		oldKeys := storedKeySet(old.placement, g)
-		newKeys := storedKeySet(newPl, g)
-		for k := range oldKeys {
-			if _, ok := newKeys[k]; !ok {
-				evicted++
-			}
-		}
-		for k := range newKeys {
-			if _, ok := oldKeys[k]; !ok {
-				inserted++
-			}
-		}
+	for g := range delta {
+		evicted += int64(len(delta[g].evict))
+		inserted += int64(len(delta[g].insert))
 	}
 
 	// Update phase: moved bytes happen in BatchEntries-sized steps, with the
@@ -444,10 +485,16 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 		UpdateSeconds:   updateSeconds,
 		EvictedEntries:  evicted,
 		InsertedEntries: inserted,
+		RebuildEntries:  storedEntries(old.placement) + storedEntries(newPl),
 		Solve:           cfg.Solve,
 	}
+	// Samples are indexed by integer sample number with t derived per
+	// sample: accumulating t += SamplePeriod drifts by an ulp per step, and
+	// over a long refresh the accumulated error skips or double-counts the
+	// busy/pause boundaries the switch below classifies against.
 	impactSum, impactN := 0.0, 0
-	for t := -5 * cfg.SamplePeriod; t < duration+5*cfg.SamplePeriod; t += cfg.SamplePeriod {
+	for i := -5; float64(i)*cfg.SamplePeriod < duration+5*cfg.SamplePeriod; i++ {
+		t := float64(i) * cfg.SamplePeriod
 		it := baseIterTime
 		switch {
 		case t < 0 || t >= duration:
@@ -479,30 +526,26 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 		rep.MeanImpact = impactSum / float64(impactN)
 	}
 
-	// Apply the diff incrementally, GPU by GPU: evictions first (freeing
+	// Apply the delta incrementally, GPU by GPU: evictions first (freeing
 	// slots), then insertions into the recycled slots — the small-batch
-	// update of §7.2. The updates go to a private clone of the snapshot, so
-	// foreground reads keep resolving against the old tables and arenas
-	// until the clone is published below.
+	// update of §7.2. Only the entries whose tier actually changed are
+	// touched; everything else keeps its slot in the cloned tables. The
+	// updates go to a private clone of the snapshot, so foreground reads
+	// keep resolving against the old tables and arenas until the clone is
+	// published below.
 	next := old.clone()
 	next.placement = newPl
 	buf := make([]byte, s.EntryBytes)
 	for g := 0; g < s.P.N; g++ {
-		oldKeys := storedKeySet(old.placement, g)
-		newKeys := storedKeySet(newPl, g)
 		c := next.caches[g]
-		for k := range oldKeys {
-			if _, keep := newKeys[k]; !keep {
-				if !c.evict(k) {
-					return nil, fmt.Errorf("cache: refresh eviction missed key %d on gpu %d", k, g)
-				}
+		for _, k := range delta[g].evict {
+			if !c.evict(k) {
+				return nil, fmt.Errorf("cache: refresh eviction missed key %d on gpu %d", k, g)
 			}
 		}
-		for k := range newKeys {
-			if _, had := oldKeys[k]; !had {
-				if err := c.insert(k, s.source, buf); err != nil {
-					return nil, fmt.Errorf("cache: refresh insert on gpu %d: %w", g, err)
-				}
+		for _, k := range delta[g].insert {
+			if err := c.insert(k, s.source, buf); err != nil {
+				return nil, fmt.Errorf("cache: refresh insert on gpu %d: %w", g, err)
 			}
 		}
 	}
@@ -516,16 +559,47 @@ func (s *System) Refresh(newPl *solver.Placement, baseIterTime float64, cfg Refr
 	return rep, nil
 }
 
-func storedKeySet(pl *solver.Placement, g int) map[int64]struct{} {
-	out := make(map[int64]struct{})
-	for bi := range pl.Blocks {
-		b := &pl.Blocks[bi]
-		if !b.Store[g] {
-			continue
-		}
-		for r := b.Start; r < b.End; r++ {
-			out[int64(pl.ByRank[r])] = struct{}{}
+// gpuDelta is one GPU's incremental placement diff: the keys it must drop
+// and the keys it must admit to move from the old placement to the new one.
+type gpuDelta struct {
+	evict  []int64
+	insert []int64
+}
+
+// placementDelta computes the per-GPU evict/insert lists between two
+// placements by walking the entry space once and comparing both block
+// tables' StoredOn answers (two O(1) rank lookups per entry per GPU). No
+// per-GPU key sets are built — the delta is exactly the entries whose
+// storage changed, in ascending key order (deterministic apply).
+func placementDelta(old, new *solver.Placement, numGPUs int) []gpuDelta {
+	out := make([]gpuDelta, numGPUs)
+	n := old.NumEntries()
+	for g := 0; g < numGPUs; g++ {
+		d := &out[g]
+		for e := int64(0); e < n; e++ {
+			was, is := old.StoredOn(g, e), new.StoredOn(g, e)
+			switch {
+			case was && !is:
+				d.evict = append(d.evict, e)
+			case !was && is:
+				d.insert = append(d.insert, e)
+			}
 		}
 	}
 	return out
+}
+
+// storedEntries counts the placement's stored entries summed over GPUs —
+// the volume a from-scratch fill of the placement would insert.
+func storedEntries(pl *solver.Placement) int64 {
+	var total int64
+	for bi := range pl.Blocks {
+		b := &pl.Blocks[bi]
+		for _, stored := range b.Store {
+			if stored {
+				total += b.Entries()
+			}
+		}
+	}
+	return total
 }

@@ -240,7 +240,9 @@ func TestRefreshSolveStats(t *testing.T) {
 	}
 
 	// Without stats the span carries no solve args and the gauges are
-	// untouched by the next publish.
+	// zeroed: they describe the *last* refresh, and a stat-less (heuristic)
+	// refresh must not leave the previous MILP solve's wall time and node
+	// count published against the wrong placement.
 	cfg.Solve = nil
 	if _, err := sys.Refresh(pl, 0.001, cfg); err != nil {
 		t.Fatal(err)
@@ -254,6 +256,21 @@ func TestRefreshSolveStats(t *testing.T) {
 	}
 	if last.NArgs != 0 {
 		t.Fatalf("stat-less refresh-solve span has %d args", last.NArgs)
+	}
+	vals = map[string]float64{}
+	for _, s := range reg.Samples() {
+		vals[s.Name] = s.Value
+	}
+	if vals["cache_refresh_last_solve_wall_seconds"] != 0 {
+		t.Fatalf("stale solve wall gauge %g after stat-less refresh",
+			vals["cache_refresh_last_solve_wall_seconds"])
+	}
+	if vals["cache_refresh_last_solve_nodes"] != 0 {
+		t.Fatalf("stale solve nodes gauge %g after stat-less refresh",
+			vals["cache_refresh_last_solve_nodes"])
+	}
+	if vals["cache_refresh_total"] != 2 {
+		t.Fatalf("refresh counter %g after two refreshes", vals["cache_refresh_total"])
 	}
 }
 
@@ -364,5 +381,260 @@ func TestRefreshTimelineSpans(t *testing.T) {
 	}
 	if got := len(rec.Events()); got != before {
 		t.Fatalf("detached recorder gained %d events", got-before)
+	}
+}
+
+// reversedPlacement solves the input with its hotness reversed — the large,
+// mostly-disjoint second placement the refresh tests diff against.
+func reversedPlacement(t *testing.T, in *solver.Input) *solver.Placement {
+	t.Helper()
+	n := len(in.Hotness)
+	h2 := make(workload.Hotness, n)
+	for i := range h2 {
+		h2[i] = in.Hotness[n-1-i]
+	}
+	in2 := *in
+	in2.Hotness = h2
+	pl2, err := (solver.UGache{}).Solve(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl2
+}
+
+// TestRefreshTimelineIntegerIndexing pins the impact-timeline sampling to
+// exact integer indexing: sample j sits at exactly (j-5)*SamplePeriod. The
+// old accumulator (t += SamplePeriod) drifted by an ulp per step, and over a
+// long refresh the error moved samples across the busy/pause boundaries they
+// are classified against.
+func TestRefreshTimelineIntegerIndexing(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 2000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2 := reversedPlacement(t, in)
+
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 100
+	cfg.UpdateBandwidth = 1e6
+	// A period with no exact binary representation, so any accumulation
+	// error would be visible immediately.
+	cfg.SamplePeriod = 0.1
+	rep, err := sys.Refresh(pl2, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatal("empty timeline")
+	}
+	for j, st := range rep.Timeline {
+		if want := float64(j-5) * cfg.SamplePeriod; st.T != want {
+			t.Fatalf("sample %d at T %v, want exactly %v", j, st.T, want)
+		}
+	}
+	if first := rep.Timeline[0].T; first != -5*cfg.SamplePeriod {
+		t.Fatalf("first sample at %g", first)
+	}
+	last := rep.Timeline[len(rep.Timeline)-1].T
+	if last >= rep.Duration+5*cfg.SamplePeriod || last < rep.Duration {
+		t.Fatalf("last sample at %g for duration %g", last, rep.Duration)
+	}
+}
+
+// TestRefreshTimelineRemainderStep: with a non-multiple diff the final
+// update-step span's busy time must be the remainder transfer, not a full
+// BatchEntries step.
+func TestRefreshTimelineRemainderStep(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 2000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2 := reversedPlacement(t, in)
+	rec := timeline.NewRecorder(1, 1024)
+	sys.SetTimeline(rec)
+
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 301
+	cfg.UpdateBandwidth = 1e6
+	rep, err := sys.Refresh(pl2, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := rep.EvictedEntries + rep.InsertedEntries
+	rem := moved % cfg.BatchEntries
+	if rem == 0 {
+		t.Fatalf("diff of %d entries is a multiple of %d; test needs a remainder", moved, cfg.BatchEntries)
+	}
+	var steps []timeline.Event
+	for _, ev := range rec.Events() {
+		if ev.Name == "refresh-update-step" {
+			steps = append(steps, ev)
+		}
+	}
+	wantSteps := int(moved/cfg.BatchEntries) + 1
+	if wantSteps > maxRefreshStepSpans {
+		t.Fatalf("%d steps would truncate; shrink the diff or raise BatchEntries", wantSteps)
+	}
+	if len(steps) != wantSteps {
+		t.Fatalf("%d update-step spans, want %d", len(steps), wantSteps)
+	}
+	perStep := float64(cfg.BatchEntries*int64(sys.EntryBytes)) / cfg.UpdateBandwidth
+	remStep := float64(rem*int64(sys.EntryBytes)) / cfg.UpdateBandwidth
+	for i, st := range steps[:len(steps)-1] {
+		if math.Abs(st.Dur-perStep) > 1e-12 {
+			t.Fatalf("full step %d busy %g, want %g", i, st.Dur, perStep)
+		}
+	}
+	if tail := steps[len(steps)-1]; math.Abs(tail.Dur-remStep) > 1e-12 {
+		t.Fatalf("remainder step busy %g, want %g (rem %d entries)", tail.Dur, remStep, rem)
+	}
+}
+
+// TestRefreshTimelineTruncation: a diff spanning more than
+// maxRefreshStepSpans update steps emits exactly the cap in step spans plus
+// one refresh-update-steps-truncated instant carrying the omitted count; the
+// root span's update_steps arg still reports the true total.
+func TestRefreshTimelineTruncation(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 2000, 0.1)
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2 := reversedPlacement(t, in)
+	rec := timeline.NewRecorder(1, 4096)
+	sys.SetTimeline(rec)
+
+	cfg := DefaultRefreshConfig()
+	cfg.BatchEntries = 7 // tiny steps force the span cap
+	cfg.UpdateBandwidth = 1e9
+	rep, err := sys.Refresh(pl2, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := rep.EvictedEntries + rep.InsertedEntries
+	totalSteps := moved / cfg.BatchEntries
+	if moved%cfg.BatchEntries != 0 {
+		totalSteps++
+	}
+	if totalSteps <= maxRefreshStepSpans {
+		t.Fatalf("only %d steps; test needs more than %d", totalSteps, maxRefreshStepSpans)
+	}
+	var root, trunc *timeline.Event
+	stepSpans := 0
+	for _, ev := range rec.Events() {
+		ev := ev
+		switch ev.Name {
+		case "refresh":
+			root = &ev
+		case "refresh-update-step":
+			stepSpans++
+		case "refresh-update-steps-truncated":
+			trunc = &ev
+		}
+	}
+	if stepSpans != maxRefreshStepSpans {
+		t.Fatalf("%d update-step spans, want the %d cap", stepSpans, maxRefreshStepSpans)
+	}
+	if trunc == nil {
+		t.Fatal("missing refresh-update-steps-truncated instant")
+	}
+	args := map[string]float64{}
+	for i := int32(0); i < trunc.NArgs; i++ {
+		args[trunc.Args[i].Key] = trunc.Args[i].Val
+	}
+	if want := float64(totalSteps - maxRefreshStepSpans); args["omitted_steps"] != want {
+		t.Fatalf("omitted_steps %g, want %g", args["omitted_steps"], want)
+	}
+	if root == nil {
+		t.Fatal("missing refresh span")
+	}
+	rootArgs := map[string]float64{}
+	for i := int32(0); i < root.NArgs; i++ {
+		rootArgs[root.Args[i].Key] = root.Args[i].Val
+	}
+	if rootArgs["update_steps"] != float64(totalSteps) {
+		t.Fatalf("root update_steps %g, want %d", rootArgs["update_steps"], totalSteps)
+	}
+}
+
+// TestPlacementDeltaIncremental pins the entry-wise diff that replaced the
+// duplicated per-GPU key-set computation: the delta lists exactly the
+// entries whose storage changed, in ascending key order, and applying it
+// moves strictly less than the rebuild volume when the placements overlap.
+func TestPlacementDeltaIncremental(t *testing.T) {
+	p := platform.ServerC()
+	pl, in := testPlacement(t, p, 2000, 0.1)
+	// Mildly perturbed hotness: most of the hot head survives, so an
+	// incremental apply must beat the full rebuild by a wide margin.
+	h2 := make(workload.Hotness, 2000)
+	copy(h2, in.Hotness)
+	for i := 0; i < len(h2); i += 7 {
+		h2[i] *= 1.5
+	}
+	in2 := *in
+	in2.Hotness = h2
+	pl2, err := (solver.UGache{}).Solve(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta := placementDelta(pl, pl2, p.N)
+	var moved int64
+	for g := range delta {
+		for i, k := range delta[g].evict {
+			if !pl.StoredOn(g, k) || pl2.StoredOn(g, k) {
+				t.Fatalf("gpu %d evict key %d not a stored->dropped transition", g, k)
+			}
+			if i > 0 && k <= delta[g].evict[i-1] {
+				t.Fatalf("gpu %d evict list not ascending at %d", g, i)
+			}
+		}
+		for i, k := range delta[g].insert {
+			if pl.StoredOn(g, k) || !pl2.StoredOn(g, k) {
+				t.Fatalf("gpu %d insert key %d not an absent->stored transition", g, k)
+			}
+			if i > 0 && k <= delta[g].insert[i-1] {
+				t.Fatalf("gpu %d insert list not ascending at %d", g, i)
+			}
+		}
+		moved += int64(len(delta[g].evict) + len(delta[g].insert))
+	}
+	// Completeness: every storage change is in the delta (the loop above
+	// already proved every delta entry is a real change).
+	var want int64
+	for g := 0; g < p.N; g++ {
+		for e := int64(0); e < 2000; e++ {
+			if pl.StoredOn(g, e) != pl2.StoredOn(g, e) {
+				want++
+			}
+		}
+	}
+	if moved != want {
+		t.Fatalf("delta moves %d entries, %d storage cells changed", moved, want)
+	}
+	rebuild := storedEntries(pl) + storedEntries(pl2)
+	if moved == 0 || moved >= rebuild {
+		t.Fatalf("delta %d not strictly below rebuild %d", moved, rebuild)
+	}
+
+	// Refresh reports the same accounting.
+	sys, err := Fill(p, pl, FillOptions{CapacityEntries: in.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Refresh(pl2, 0.001, DefaultRefreshConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EvictedEntries+rep.InsertedEntries != moved {
+		t.Fatalf("report moves %d, delta %d", rep.EvictedEntries+rep.InsertedEntries, moved)
+	}
+	if rep.RebuildEntries != rebuild {
+		t.Fatalf("report rebuild %d, want %d", rep.RebuildEntries, rebuild)
 	}
 }

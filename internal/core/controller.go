@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ugache/internal/cache"
+	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
+	"ugache/internal/workload"
+)
+
+// RefreshMode selects how the controller decides when to re-solve.
+type RefreshMode int
+
+const (
+	// RefreshOff disables the controller (checks become no-ops).
+	RefreshOff RefreshMode = iota
+	// RefreshPeriodic re-solves every PeriodBatches observed batches — the
+	// paper's fixed-cadence §7.2 behaviour, blind to whether hotness moved.
+	RefreshPeriodic
+	// RefreshDrift re-solves only when the drift detector reports that the
+	// sampled hotness moved past the threshold.
+	RefreshDrift
+)
+
+// String renders the mode the way the -refresh-mode flag spells it.
+func (m RefreshMode) String() string {
+	switch m {
+	case RefreshPeriodic:
+		return "periodic"
+	case RefreshDrift:
+		return "drift"
+	default:
+		return "off"
+	}
+}
+
+// ParseRefreshMode parses a -refresh-mode flag value.
+func ParseRefreshMode(s string) (RefreshMode, error) {
+	switch strings.ToLower(s) {
+	case "off", "":
+		return RefreshOff, nil
+	case "periodic":
+		return RefreshPeriodic, nil
+	case "drift":
+		return RefreshDrift, nil
+	}
+	return RefreshOff, fmt.Errorf("core: unknown refresh mode %q (have off, periodic, drift)", s)
+}
+
+// ControllerConfig tunes the closed-loop refresh controller.
+type ControllerConfig struct {
+	// Mode picks the trigger policy (default RefreshOff).
+	Mode RefreshMode
+	// Sampler is the hotness sampler observing served batches (required for
+	// any mode other than off; the serving engine feeds it).
+	Sampler *cache.HotnessSampler
+	// CheckEvery is the drift-check cadence in observed batches (default
+	// 32). Checks are much cheaper than solves but not free — each one
+	// merges the sampler shards and re-ranks the measured distribution.
+	CheckEvery int
+	// PeriodBatches is the blind-periodic re-solve cadence (default 512;
+	// periodic mode only).
+	PeriodBatches int
+	// Drift configures the detector (drift mode only).
+	Drift cache.DriftConfig
+	// Refresh is the §7.2 replay configuration each triggered refresh uses
+	// (zero value → cache.DefaultRefreshConfig()).
+	Refresh cache.RefreshConfig
+	// BaseIterTime is the foreground iteration seconds fed to Refresh's
+	// impact replay (default 1e-3).
+	BaseIterTime float64
+	// Async runs triggered checks and refreshes on a background goroutine
+	// (single-flight) so the serving worker that crossed the cadence
+	// boundary never blocks on a solve. Synchronous mode (false) runs them
+	// inline in BatchObserved — what benches and tests want.
+	Async bool
+	// Telemetry, when non-nil, receives the controller's counters and the
+	// detector's gauges.
+	Telemetry *telemetry.Registry
+}
+
+func (c ControllerConfig) normalize() ControllerConfig {
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 32
+	}
+	if c.PeriodBatches <= 0 {
+		c.PeriodBatches = 512
+	}
+	if c.BaseIterTime <= 0 {
+		c.BaseIterTime = 1e-3
+	}
+	if c.Refresh == (cache.RefreshConfig{}) {
+		c.Refresh = cache.DefaultRefreshConfig()
+	}
+	return c
+}
+
+// ControllerStats is a snapshot of the controller's counters.
+type ControllerStats struct {
+	// Batches observed so far.
+	Batches int64
+	// Checks run (drift mode: detector evaluations; periodic: cadence
+	// evaluations that found the period elapsed).
+	Checks int64
+	// Refreshes triggered and completed successfully.
+	Refreshes int64
+	// Errors from failed checks or refreshes.
+	Errors int64
+	// LastScore, LastOverlap and LastRankDistance mirror the detector's
+	// last evaluation (drift mode; zero otherwise).
+	LastScore, LastOverlap, LastRankDistance float64
+	// LastMoved and LastRebuild are the last refresh's incremental delta
+	// size vs the full-rebuild volume it avoided.
+	LastMoved, LastRebuild int64
+	// LastDuration and LastImpact are the last refresh's simulated length
+	// (seconds) and mean foreground inflation fraction.
+	LastDuration, LastImpact float64
+}
+
+// Controller closes the §7.2 loop: it watches the serving stream through
+// the hotness sampler and re-solves the placement either on a fixed cadence
+// (periodic) or when measured drift crosses the threshold (drift). The
+// serving engine calls BatchObserved once per coalesced batch; everything
+// else is internal.
+type Controller struct {
+	sys *System
+	cfg ControllerConfig
+	det *cache.DriftDetector
+
+	batches   atomic.Int64
+	lastCheck atomic.Int64 // batch count at the last cadence boundary
+
+	inflight atomic.Bool
+	wg       sync.WaitGroup
+
+	// mu serializes the check-and-refresh critical section (Tick callers
+	// racing the async path).
+	mu            sync.Mutex
+	lastRefreshAt int64 // batch count at the last successful refresh
+	// minWindow is the drift-mode maturity gate. A refresh rebases the
+	// detector onto a *sampled* window, and sample-vs-sample comparison is
+	// noisier than sample-vs-reference — small trigger windows leave enough
+	// selection bias at the top-K boundary to re-trigger on noise alone. So
+	// each drift refresh doubles the window the next one needs (capped at
+	// the detector's MaxBatches), and any quiet check re-arms the fast
+	// MinBatches gate. Genuine sustained drift still refreshes promptly,
+	// with each re-solve using a strictly cleaner hotness estimate.
+	minWindow int
+
+	checks, refreshes, errs atomic.Int64
+	lastStatus              atomic.Pointer[cache.DriftStatus]
+	lastMoved, lastRebuild  atomic.Int64
+	lastDuration            atomic.Uint64 // float64 bits
+	lastImpact              atomic.Uint64 // float64 bits
+
+	met *controllerMetrics
+}
+
+type controllerMetrics struct {
+	refreshes *telemetry.Counter
+	errors    *telemetry.Counter
+}
+
+// NewController builds a controller for a built system. The detector's
+// reference starts at the hotness the system's current placement was solved
+// against.
+func NewController(sys *System, cfg ControllerConfig) (*Controller, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("core: controller needs a system")
+	}
+	cfg = cfg.normalize()
+	c := &Controller{sys: sys, cfg: cfg}
+	if cfg.Mode == RefreshOff {
+		return c, nil
+	}
+	if cfg.Sampler == nil {
+		return nil, fmt.Errorf("core: %s refresh mode needs a sampler", cfg.Mode)
+	}
+	if cfg.Mode == RefreshDrift {
+		det, err := cache.NewDriftDetector(cfg.Sampler, sys.state.Load().input.Hotness, cfg.Drift)
+		if err != nil {
+			return nil, err
+		}
+		c.det = det
+		c.minWindow = det.Config().MinBatches
+		if cfg.Telemetry != nil {
+			det.SetTelemetry(cfg.Telemetry)
+		}
+	}
+	if cfg.Telemetry != nil {
+		c.met = &controllerMetrics{
+			refreshes: cfg.Telemetry.Counter("cache_refresh_triggered_total", "refreshes triggered by the controller"),
+			errors:    cfg.Telemetry.Counter("cache_refresh_controller_errors_total", "controller check/refresh failures"),
+		}
+	}
+	if sys.tl != nil {
+		sys.tl.SetThreadName(timeline.ProcControl, timeline.TIDDrift, "drift detector")
+	}
+	return c, nil
+}
+
+// Detector returns the drift detector (nil outside drift mode).
+func (c *Controller) Detector() *cache.DriftDetector { return c.det }
+
+// BatchObserved notes one served batch. When the check cadence elapses it
+// evaluates the trigger policy — inline when the controller is synchronous,
+// on a single-flight background goroutine when Async. It returns whether a
+// refresh was performed (always false on the async path, which reports
+// through Stats instead).
+func (c *Controller) BatchObserved() bool {
+	if c.cfg.Mode == RefreshOff {
+		return false
+	}
+	n := c.batches.Add(1)
+	last := c.lastCheck.Load()
+	if n-last < int64(c.cfg.CheckEvery) || !c.lastCheck.CompareAndSwap(last, n) {
+		return false
+	}
+	if !c.cfg.Async {
+		refreshed, _ := c.Tick()
+		return refreshed
+	}
+	// Single-flight: if a previous check or refresh is still running, skip
+	// this boundary; the next one re-evaluates against fresher samples.
+	if !c.inflight.CompareAndSwap(false, true) {
+		return false
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer c.inflight.Store(false)
+		c.Tick()
+	}()
+	return false
+}
+
+// Tick evaluates the trigger policy once, synchronously, and performs the
+// refresh when it fires. Benches and tests drive the loop with it directly.
+func (c *Controller) Tick() (refreshed bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.cfg.Mode {
+	case RefreshPeriodic:
+		refreshed, err = c.tickPeriodic()
+	case RefreshDrift:
+		refreshed, err = c.tickDrift()
+	default:
+		return false, nil
+	}
+	if err != nil {
+		c.errs.Add(1)
+		if c.met != nil {
+			c.met.errors.Add(0, 1)
+		}
+	}
+	return refreshed, err
+}
+
+// tickPeriodic fires when PeriodBatches elapsed since the last refresh.
+func (c *Controller) tickPeriodic() (bool, error) {
+	n := c.batches.Load()
+	if n-c.lastRefreshAt < int64(c.cfg.PeriodBatches) {
+		return false, nil
+	}
+	c.checks.Add(1)
+	measured, err := c.cfg.Sampler.Hotness()
+	if err != nil {
+		return false, err // nothing sampled yet; not worth counting as failure
+	}
+	return true, c.refresh(measured, n)
+}
+
+// tickDrift checks the detector and fires on drift.
+func (c *Controller) tickDrift() (bool, error) {
+	c.checks.Add(1)
+	st, err := c.det.Check()
+	if err != nil {
+		return false, err
+	}
+	stCopy := st
+	stCopy.Measured = nil // the buffer is reused; don't leak it via Stats
+	c.lastStatus.Store(&stCopy)
+	c.emitCheckSpan(&st)
+	if !st.Drifted {
+		c.minWindow = c.det.Config().MinBatches // quiet: re-arm fast reaction
+		return false, nil
+	}
+	if st.Batches < c.minWindow {
+		// Drifted, but the reference is a recent sampled rebase and this
+		// window is not yet larger than the one that produced it — wait for
+		// a cleaner estimate before solving again.
+		return false, nil
+	}
+	// The detector's measured buffer is reused by the next Check; the
+	// refresh keeps its hotness, so copy.
+	measured := append(workload.Hotness(nil), st.Measured...)
+	if err := c.refresh(measured, c.batches.Load()); err != nil {
+		return false, err
+	}
+	if mw := 2 * st.Batches; mw > c.minWindow {
+		c.minWindow = mw
+	}
+	if cap := c.det.Config().MaxBatches; c.minWindow > cap {
+		c.minWindow = cap
+	}
+	return true, nil
+}
+
+// refresh re-solves against the measured hotness, then restarts the
+// observation window: the sampler resets and the detector rebases to the
+// distribution the new placement assumes.
+func (c *Controller) refresh(measured workload.Hotness, atBatch int64) error {
+	rep, err := c.sys.Refresh(measured, c.cfg.BaseIterTime, c.cfg.Refresh)
+	if err != nil {
+		return err
+	}
+	c.lastRefreshAt = atBatch
+	c.refreshes.Add(1)
+	c.lastMoved.Store(rep.EvictedEntries + rep.InsertedEntries)
+	c.lastRebuild.Store(rep.RebuildEntries)
+	c.lastDuration.Store(math.Float64bits(rep.Duration))
+	c.lastImpact.Store(math.Float64bits(rep.MeanImpact))
+	if c.met != nil {
+		c.met.refreshes.Add(0, 1)
+	}
+	c.cfg.Sampler.Reset()
+	if c.det != nil {
+		if err := c.det.Rebase(measured); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitCheckSpan records one drift evaluation on the control track.
+func (c *Controller) emitCheckSpan(st *cache.DriftStatus) {
+	tl := c.sys.tl
+	if tl == nil {
+		return
+	}
+	ev := timeline.Event{
+		Name: "drift-check", Cat: "refresh", Ph: timeline.PhInstant,
+		PID: timeline.ProcControl, TID: timeline.TIDDrift,
+		Start: tl.Now(),
+	}
+	ev.AddArg("score", st.Score)
+	ev.AddArg("topk_overlap", st.TopKOverlap)
+	ev.AddArg("rank_distance", st.RankDistance)
+	ev.AddArg("window_batches", float64(st.Batches))
+	drifted := 0.0
+	if st.Drifted {
+		drifted = 1
+	}
+	ev.AddArg("drifted", drifted)
+	tl.Shard(0).Emit(&ev)
+}
+
+// Wait blocks until any in-flight async check/refresh finished. Call at
+// shutdown before reading final stats.
+func (c *Controller) Wait() { c.wg.Wait() }
+
+// Stats snapshots the controller's counters.
+func (c *Controller) Stats() ControllerStats {
+	st := ControllerStats{
+		Batches:      c.batches.Load(),
+		Checks:       c.checks.Load(),
+		Refreshes:    c.refreshes.Load(),
+		Errors:       c.errs.Load(),
+		LastMoved:    c.lastMoved.Load(),
+		LastRebuild:  c.lastRebuild.Load(),
+		LastDuration: math.Float64frombits(c.lastDuration.Load()),
+		LastImpact:   math.Float64frombits(c.lastImpact.Load()),
+	}
+	if ds := c.lastStatus.Load(); ds != nil {
+		st.LastScore, st.LastOverlap, st.LastRankDistance = ds.Score, ds.TopKOverlap, ds.RankDistance
+	}
+	return st
+}

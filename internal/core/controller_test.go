@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+
+	"ugache/internal/cache"
+	"ugache/internal/platform"
+	"ugache/internal/rng"
+	"ugache/internal/workload"
+)
+
+// driftTestSystem builds a small timing-only system solved against ref —
+// the controller tests' stand-in for a serving deployment.
+func driftTestSystem(t *testing.T, ref workload.Hotness) *System {
+	t.Helper()
+	sys, err := Build(Config{
+		Platform:           platform.ServerA(),
+		Hotness:            ref,
+		EntryBytes:         64,
+		CacheEntriesPerGPU: int64(len(ref) / 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// driveController replays wl's batches [from, to) through the sampler and
+// the controller (the serving engine's per-batch hook), returning the batch
+// index of the first refresh the controller performed, or -1.
+func driveController(t *testing.T, ctrl *Controller, s *cache.HotnessSampler, wl *workload.ShiftingZipf, r *rng.Rand, from, to, size int) int {
+	t.Helper()
+	scratch := make(map[int64]struct{})
+	first := -1
+	for b := from; b < to; b++ {
+		s.Observe(workload.Unique(wl.GenBatchAt(r, b, size), scratch))
+		if ctrl.BatchObserved() && first < 0 {
+			first = b
+		}
+	}
+	return first
+}
+
+// TestControllerDriftBoundedTrigger is the tentpole's acceptance test: in
+// drift mode the controller performs zero re-solves while the stream is
+// stationary, triggers within a bounded window after a flash-crowd shift,
+// and the triggered refresh moves strictly fewer entries than a rebuild.
+func TestControllerDriftBoundedTrigger(t *testing.T) {
+	const (
+		n     = 4096
+		kpb   = 512
+		shift = 96
+	)
+	wl, err := workload.NewFlashCrowd(n, 0.9, shift, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := driftTestSystem(t, wl.ExpectedHotness(0, kpb))
+	sampler := cache.NewHotnessSampler(n, 1)
+	ctrl, err := NewController(sys, ControllerConfig{
+		Mode:       RefreshDrift,
+		Sampler:    sampler,
+		CheckEvery: 8,
+		Drift:      cache.DriftConfig{MinBatches: 16, MaxBatches: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+
+	// Stationary phase: the detector must stay quiet through every check.
+	if got := driveController(t, ctrl, sampler, wl, r, 0, shift, kpb); got >= 0 {
+		t.Fatalf("stationary phase refreshed at batch %d", got)
+	}
+	st := ctrl.Stats()
+	if st.Refreshes != 0 {
+		t.Fatalf("%d stationary refreshes", st.Refreshes)
+	}
+	if st.Checks == 0 {
+		t.Fatal("no drift checks ran")
+	}
+
+	// Post-shift: the trigger must land within the detection budget — one
+	// full observation window plus the check cadence.
+	maxDelay := ctrl.Detector().Config().MaxBatches + 8
+	trigger := driveController(t, ctrl, sampler, wl, r, shift, shift+144, kpb)
+	st = ctrl.Stats()
+	if st.Refreshes == 0 {
+		t.Fatal("flash crowd never triggered a refresh")
+	}
+	if trigger < shift || trigger > shift+maxDelay {
+		t.Fatalf("trigger at batch %d outside (%d, %d]", trigger, shift, shift+maxDelay)
+	}
+	// The maturity backoff must keep the loop from chasing its own sampling
+	// noise after the reaction.
+	if st.Refreshes > 2 {
+		t.Fatalf("%d refreshes for one shift", st.Refreshes)
+	}
+	if st.LastMoved <= 0 || st.LastMoved >= st.LastRebuild {
+		t.Fatalf("incremental delta %d not strictly below rebuild %d", st.LastMoved, st.LastRebuild)
+	}
+	if st.LastDuration <= 0 {
+		t.Fatalf("refresh duration %g", st.LastDuration)
+	}
+}
+
+// TestControllerPeriodic pins the blind cadence: a refresh every
+// PeriodBatches, aligned to the CheckEvery boundary, regardless of drift.
+func TestControllerPeriodic(t *testing.T) {
+	const n, kpb = 2048, 256
+	wl, err := workload.NewDiurnalZipf(n, 1.05, 1.05, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := driftTestSystem(t, wl.ExpectedHotness(0, kpb))
+	sampler := cache.NewHotnessSampler(n, 1)
+	ctrl, err := NewController(sys, ControllerConfig{
+		Mode:          RefreshPeriodic,
+		Sampler:       sampler,
+		CheckEvery:    8,
+		PeriodBatches: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	scratch := make(map[int64]struct{})
+	var fired []int
+	for b := 0; b < 200; b++ {
+		sampler.Observe(workload.Unique(wl.GenBatchAt(r, b, kpb), scratch))
+		if ctrl.BatchObserved() {
+			fired = append(fired, b)
+		}
+	}
+	// BatchObserved counts from 1, so period boundaries land on batch
+	// indices 63, 127, 191.
+	want := []int{63, 127, 191}
+	if len(fired) != len(want) {
+		t.Fatalf("refreshes at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("refreshes at %v, want %v", fired, want)
+		}
+	}
+	st := ctrl.Stats()
+	if st.Refreshes != 3 || st.Errors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Periodic mode has no detector.
+	if ctrl.Detector() != nil {
+		t.Fatal("periodic controller grew a detector")
+	}
+	if st.LastScore != 0 {
+		t.Fatalf("periodic LastScore %g", st.LastScore)
+	}
+}
+
+// TestControllerAsyncSingleFlight smoke-tests the background path: checks
+// run off the serving thread, Wait drains them, and a stationary stream
+// never refreshes.
+func TestControllerAsyncSingleFlight(t *testing.T) {
+	const n, kpb = 1024, 128
+	wl, err := workload.NewDiurnalZipf(n, 1.0, 1.0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := driftTestSystem(t, wl.ExpectedHotness(0, kpb))
+	sampler := cache.NewHotnessSampler(n, 1)
+	ctrl, err := NewController(sys, ControllerConfig{
+		Mode:       RefreshDrift,
+		Sampler:    sampler,
+		CheckEvery: 4,
+		Drift:      cache.DriftConfig{MinBatches: 8},
+		Async:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	scratch := make(map[int64]struct{})
+	for b := 0; b < 64; b++ {
+		sampler.Observe(workload.Unique(wl.GenBatchAt(r, b, kpb), scratch))
+		if ctrl.BatchObserved() {
+			t.Fatal("async BatchObserved reported an inline refresh")
+		}
+	}
+	ctrl.Wait()
+	st := ctrl.Stats()
+	if st.Checks == 0 {
+		t.Fatal("no async checks ran")
+	}
+	if st.Refreshes != 0 {
+		t.Fatalf("stationary async stream refreshed %d times", st.Refreshes)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("%d controller errors", st.Errors)
+	}
+}
+
+// TestControllerValidationAndModes covers construction errors, the off-mode
+// no-op, and the flag parsing round trip.
+func TestControllerValidationAndModes(t *testing.T) {
+	if _, err := NewController(nil, ControllerConfig{}); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	ref := testHotness(256, 1.1, 1)
+	sys := driftTestSystem(t, ref)
+	for _, mode := range []RefreshMode{RefreshPeriodic, RefreshDrift} {
+		if _, err := NewController(sys, ControllerConfig{Mode: mode}); err == nil {
+			t.Fatalf("%s mode without a sampler accepted", mode)
+		}
+	}
+	// Drift mode requires the sampler to match the placement's entry space.
+	if _, err := NewController(sys, ControllerConfig{
+		Mode:    RefreshDrift,
+		Sampler: cache.NewHotnessSampler(99, 1),
+	}); err == nil {
+		t.Fatal("mismatched sampler accepted")
+	}
+
+	off, err := NewController(sys, ControllerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if off.BatchObserved() {
+			t.Fatal("off-mode controller refreshed")
+		}
+	}
+	if refreshed, err := off.Tick(); refreshed || err != nil {
+		t.Fatalf("off-mode Tick: %v %v", refreshed, err)
+	}
+	st := off.Stats()
+	if st.Batches != 0 || st.Checks != 0 || st.Refreshes != 0 {
+		t.Fatalf("off-mode stats %+v", st)
+	}
+
+	for _, tc := range []struct {
+		in   string
+		want RefreshMode
+	}{
+		{"off", RefreshOff}, {"", RefreshOff},
+		{"periodic", RefreshPeriodic}, {"DRIFT", RefreshDrift},
+	} {
+		got, err := ParseRefreshMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseRefreshMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseRefreshMode("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	for _, m := range []RefreshMode{RefreshOff, RefreshPeriodic, RefreshDrift} {
+		back, err := ParseRefreshMode(m.String())
+		if err != nil || back != m {
+			t.Fatalf("mode %d round-trips to %v, %v", m, back, err)
+		}
+	}
+}

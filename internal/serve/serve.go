@@ -65,6 +65,12 @@ type Config struct {
 	// for §7.2 hotness re-estimation. Worker g feeds the sampler's shard g,
 	// so one sampler may serve all workers concurrently.
 	Sampler *cache.HotnessSampler
+	// Controller, when non-nil, is notified after every flushed batch (after
+	// the sampler observation) so a periodic- or drift-mode refresh
+	// controller can close the §7.2 loop against the live stream. Use an
+	// Async controller here — a synchronous one would run solves inline on
+	// the flush path.
+	Controller *core.Controller
 	// Timeline, when non-nil, records every flushed batch as a span tree on
 	// the serve track (queue-wait → coalesce → extract → gather → reply)
 	// and, for TraceEvery-sampled batches, the extraction's fluid-sim phases
@@ -194,6 +200,7 @@ type Server struct {
 	met     *metrics
 	ring    *telemetry.TraceRing
 	sampler *cache.HotnessSampler
+	ctrl    *core.Controller
 	tpb     [][]float64 // platform.TimePerByteTable, for alloc-free trace records
 
 	tl      *timeline.Recorder
@@ -220,6 +227,7 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		tel:        reg,
 		met:        newMetrics(reg),
 		sampler:    cfg.Sampler,
+		ctrl:       cfg.Controller,
 	}
 	if cfg.TraceDepth > 0 {
 		s.ring = telemetry.NewTraceRing(cfg.TraceDepth)
@@ -468,6 +476,9 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 	// belongs to this worker, so the observation is race-free.
 	if s.sampler != nil {
 		s.sampler.Shard(g).Observe(uniq)
+	}
+	if s.ctrl != nil {
+		s.ctrl.BatchObserved()
 	}
 
 	// One functional gather of the unique rows into the staging buffer, if

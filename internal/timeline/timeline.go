@@ -39,6 +39,7 @@ const (
 const (
 	TIDRefresh = 0
 	TIDSolver  = 1
+	TIDDrift   = 2
 )
 
 // Ph is the Chrome trace-event phase of an event.

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ugache/internal/rng"
+)
+
+func TestDiurnalAlphaAt(t *testing.T) {
+	wl, err := NewDiurnalZipf(1000, 0.8, 1.2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wl.AlphaAt(0); got != 0.8 {
+		t.Fatalf("alpha at batch 0 = %g, want the low extreme", got)
+	}
+	if got := wl.AlphaAt(32); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("alpha at half period = %g, want the high extreme", got)
+	}
+	if got := wl.AlphaAt(64); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("alpha after a full period = %g, want the low extreme", got)
+	}
+	if got := wl.AlphaAt(16); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("alpha at quarter period = %g, want the midpoint", got)
+	}
+	if wl.ShiftBatch() != -1 {
+		t.Fatalf("sweep has shift batch %d", wl.ShiftBatch())
+	}
+	if wl.NumEntries() != 1000 {
+		t.Fatalf("NumEntries %d", wl.NumEntries())
+	}
+	if _, err := NewDiurnalZipf(1000, 1.2, 0.8, 64); err == nil {
+		t.Fatal("inverted alpha range accepted")
+	}
+	if _, err := NewDiurnalZipf(1000, 0.8, 1.2, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestFlashCrowdRotation(t *testing.T) {
+	wl, err := NewFlashCrowd(100, 1.1, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.ShiftBatch() != 10 {
+		t.Fatalf("shift batch %d", wl.ShiftBatch())
+	}
+	pre := wl.ExpectedHotness(9, 50)
+	post := wl.ExpectedHotness(10, 50)
+	if argmax(pre) != 0 {
+		t.Fatalf("pre-shift hottest key %d, want rank 0 = key 0", argmax(pre))
+	}
+	if argmax(post) != 30 {
+		t.Fatalf("post-shift hottest key %d, want the rotation offset", argmax(post))
+	}
+	// The rotation permutes identities without touching the skew: the
+	// hotness of rank r moves verbatim from key r to key (r+30)%100.
+	for r := int64(0); r < 100; r++ {
+		if post[(r+30)%100] != pre[r] {
+			t.Fatalf("rank %d hotness %g became %g after the shift", r, pre[r], post[(r+30)%100])
+		}
+	}
+
+	// rotate 0 defaults to n/2; negative offsets normalize mod n.
+	half, err := NewFlashCrowd(100, 1.1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := argmax(half.ExpectedHotness(0, 50)); got != 50 {
+		t.Fatalf("default rotation lands the head on key %d, want n/2", got)
+	}
+	neg, err := NewFlashCrowd(100, 1.1, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := argmax(neg.ExpectedHotness(0, 50)); got != 90 {
+		t.Fatalf("negative rotation lands the head on key %d, want 90", got)
+	}
+	if _, err := NewFlashCrowd(100, 1.1, -1, 0); err == nil {
+		t.Fatal("negative shift batch accepted")
+	}
+}
+
+func TestShiftingZipfReplay(t *testing.T) {
+	wl, err := NewFlashCrowd(500, 1.0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GenBatchAt with an explicit index must reproduce the streaming
+	// GenBatch schedule draw for draw, without advancing the stream.
+	r1, r2 := rng.New(3), rng.New(3)
+	for b := 0; b < 8; b++ {
+		replay := wl.GenBatchAt(r1, b, 64)
+		if wl.Batch() != b {
+			t.Fatalf("GenBatchAt advanced the stream to %d", wl.Batch())
+		}
+		live := wl.GenBatch(r2, 64)
+		for i := range live {
+			if live[i] != replay[i] {
+				t.Fatalf("batch %d draw %d: stream %d, replay %d", b, i, live[i], replay[i])
+			}
+			if live[i] < 0 || live[i] >= 500 {
+				t.Fatalf("key %d out of range", live[i])
+			}
+		}
+	}
+	if wl.Batch() != 8 {
+		t.Fatalf("stream at batch %d after 8 draws", wl.Batch())
+	}
+}
+
+func TestExpectedHotnessPresence(t *testing.T) {
+	wl, err := NewFlashCrowd(100, 1.1, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 50
+	h := wl.ExpectedHotness(0, m)
+	z, err := NewZipf(100, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Presence semantics: a key's hotness is the chance it appears at least
+	// once in a batch of m draws (the extractor deduplicates batches).
+	p0 := z.CDF(1) - z.CDF(0)
+	if want := 1 - math.Pow(1-p0, m); math.Abs(h[0]-want) > 1e-12 {
+		t.Fatalf("rank-0 presence %g, want %g", h[0], want)
+	}
+	for k := 1; k < 100; k++ {
+		if h[k] > h[k-1] {
+			t.Fatalf("presence not monotone in rank at key %d (%g > %g)", k, h[k], h[k-1])
+		}
+		if h[k] <= 0 || h[k] >= 1 {
+			t.Fatalf("presence %g at key %d outside (0, 1)", h[k], k)
+		}
+	}
+}
+
+func argmax(h Hotness) int64 {
+	best := int64(0)
+	for i, v := range h {
+		if v > h[best] {
+			best = int64(i)
+		}
+	}
+	return best
+}
