@@ -5,7 +5,7 @@ RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./i
 # Packages with testing.B microbenchmarks on the extraction hot path.
 BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve
 
-.PHONY: check build test vet fmt race bench bench-solver bench-drift figures trace-smoke
+.PHONY: check build test vet fmt race bench bench-solver bench-drift bench-prefetch figures trace-smoke
 
 check: fmt vet build test race
 
@@ -45,6 +45,13 @@ bench-solver:
 # (regenerates the checked-in BENCH_drift.json).
 bench-drift:
 	$(GO) run ./cmd/ugache-bench -exp drift -scale 0.25 -json-out BENCH_drift.json
+
+# Lookahead prefetch benchmark: served p99 and effective hit rate at
+# lookahead depths L=0/2/8 on the shifting-Zipf stream, with a mid-stream
+# refresh exercising the bounded-staleness window (regenerates the
+# checked-in BENCH_prefetch.json).
+bench-prefetch:
+	$(GO) run ./cmd/ugache-bench -exp prefetch -scale 0.25 -json-out BENCH_prefetch.json
 
 # Regenerate the paper's tables and figures (minutes at full scale).
 figures:

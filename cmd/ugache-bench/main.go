@@ -13,7 +13,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +37,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "pre-warm worker pool size (0 = one per CPU, 1 = sequential)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		telem      = flag.Bool("telemetry", false, "instrument the experiments' core systems and print a summary table of all collected metrics")
-		jsonOut    = flag.String("json-out", "", "write the machine-readable reports of experiments that produce one (e.g. drift) to this JSON file")
+		jsonOut    = flag.String("json-out", "", "write the machine-readable reports of experiments that produce one (e.g. drift, prefetch) to this JSON file")
+		lookahead  = flag.Int("lookahead", 0, "narrow the prefetch experiment's lookahead sweep to {0, L} (0 = default {0, 2, 8})")
+		staleThr   = flag.Int("stale-threshold", 0, "bounded-staleness window S in batches for the prefetch experiment (0 = experiment default 16)")
 		timelineF  = flag.String("timeline", "", "record refresh/solver spans from the instrumented experiments and write Chrome trace-event JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -50,7 +51,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 		os.Exit(1)
 	}
-	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *list, *telem, *timelineF, *jsonOut)
+	code := run(*exps, *scale, *iters, *seed, *quick, *workers, *lookahead, *staleThr, *list, *telem, *timelineF, *jsonOut)
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 		if code == 0 {
@@ -60,7 +61,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(exps string, scale float64, iters int, seed uint64, quick bool, workers int, list, telem bool, timelineF, jsonOut string) int {
+func run(exps string, scale float64, iters int, seed uint64, quick bool, workers, lookahead, staleThr int, list, telem bool, timelineF, jsonOut string) int {
 	if list {
 		names := bench.Names()
 		sort.Strings(names)
@@ -74,7 +75,10 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 	if exps != "all" {
 		names = strings.Split(exps, ",")
 	}
-	opt := bench.Options{Scale: scale, Iters: iters, Seed: seed, Quick: quick, Workers: workers}
+	opt := bench.Options{
+		Scale: scale, Iters: iters, Seed: seed, Quick: quick, Workers: workers,
+		Lookahead: lookahead, StaleBatches: staleThr,
+	}
 	var reg *telemetry.Registry
 	if telem {
 		reg = telemetry.NewRegistry(8)
@@ -102,7 +106,12 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 		}
 	}
 	if jsonOut != "" {
-		if err := writeJSON(jsonReports, jsonOut); err != nil {
+		var briefs []string
+		for _, name := range sortedKeys(jsonReports) {
+			briefs = append(briefs, fmt.Sprintf("%s: %s", name, bench.Registry[name].Brief))
+		}
+		command := "ugache-bench " + strings.Join(os.Args[1:], " ")
+		if err := bench.WriteBaseline(jsonOut, strings.Join(briefs, "; "), command, jsonReports); err != nil {
 			fmt.Fprintf(os.Stderr, "ugache-bench: %v\n", err)
 			failed++
 		} else {
@@ -135,21 +144,15 @@ func run(exps string, scale float64, iters int, seed uint64, quick bool, workers
 	return 0
 }
 
-// writeJSON marshals the collected machine-readable reports. A single
-// report is written bare (BENCH_drift.json holds the drift report itself);
-// multiple reports nest under their experiment names.
-func writeJSON(reports map[string]any, path string) error {
-	var payload any = reports
-	if len(reports) == 1 {
-		for _, r := range reports {
-			payload = r
-		}
+// sortedKeys returns the report names in stable order for the baseline
+// description.
+func sortedKeys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
 	}
-	data, err := json.MarshalIndent(payload, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	sort.Strings(out)
+	return out
 }
 
 // writeTimeline exports the recorder's spans as Chrome trace-event JSON.

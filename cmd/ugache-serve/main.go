@@ -59,6 +59,8 @@ type options struct {
 	period     int
 	workers    int
 	relgap     float64
+	lookahead  int
+	staleThr   int
 }
 
 func main() {
@@ -83,6 +85,8 @@ func main() {
 	flag.IntVar(&o.period, "refresh-period", 0, "batches between periodic-mode re-solves (0 = controller default 512)")
 	flag.IntVar(&o.workers, "solver-workers", 0, "branch-and-bound workers for optioned policies (0/1 sequential, -1 all cores)")
 	flag.Float64Var(&o.relgap, "relgap", 0, "relative optimality gap for optioned policies (0 proves optimality)")
+	flag.IntVar(&o.lookahead, "lookahead", 0, "lookahead prefetch depth L: clients announce request i+L before issuing request i (0 disables the prefetch pipeline)")
+	flag.IntVar(&o.staleThr, "stale-threshold", 0, "bounded-staleness window S in batches: staged rows from an outgoing placement snapshot stay servable up to S batches past their commit (0 = staged rows die with their snapshot)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -225,9 +229,15 @@ func run(o options) error {
 		Sampler:      sampler,
 		Controller:   ctrl,
 		Timeline:     tl,
+		Lookahead:    o.lookahead,
+		StaleBatches: o.staleThr,
 	})
 	if err != nil {
 		return err
+	}
+	if o.lookahead > 0 {
+		fmt.Printf("prefetch:          lookahead %d, staleness window %d batches, %d staged rows/GPU\n",
+			o.lookahead, o.staleThr, srv.StagingArena(0).Capacity())
 	}
 	health.SetReady(true)
 
@@ -313,9 +323,23 @@ func run(o options) error {
 		go func(c int) {
 			defer wg.Done()
 			r := rng.New(o.seed).Split(fmt.Sprintf("client%d", c))
+			// The peek stream is a same-seeded replica of r running L requests
+			// ahead: announcing request i+L's exact keys before issuing request
+			// i is the lookahead oracle the prefetch pipeline stages against.
+			peekR := rng.New(o.seed).Split(fmt.Sprintf("client%d", c))
+			announce := func(i int) {
+				if o.lookahead == 0 || i >= o.requests {
+					return
+				}
+				srv.Prefetch((c+i)%p.N, ds.GenBatchWith(peekR, o.batch))
+			}
+			for i := 0; i < o.lookahead; i++ {
+				announce(i)
+			}
 			lats := make([]time.Duration, 0, o.requests)
 			var localSim float64
 			for i := 0; i < o.requests; i++ {
+				announce(i + o.lookahead)
 				keys := ds.GenBatchWith(r, o.batch)
 				reqStart := time.Now()
 				res, err := srv.Lookup((c+i)%p.N, keys)
@@ -377,6 +401,15 @@ func run(o options) error {
 	if sum := local + remote + host; sum > 0 {
 		fmt.Printf("hit tiers:         %.1f%% local, %.1f%% remote, %.1f%% host (of %d unique keys)\n",
 			100*local/sum, 100*remote/sum, 100*host/sum, st.UniqueKeys)
+	}
+	if o.lookahead > 0 {
+		hits := tier("serve_fill_prefetch_hit")
+		fmt.Printf("prefetch:          %.0f windows staged %.0f keys; %.0f staged hits (%.1f%% of unique), %.0f dropped windows\n",
+			tier("serve_prefetch_windows_total"), tier("serve_prefetch_staged_keys_total"),
+			hits, 100*hits/float64(maxI64(st.UniqueKeys, 1)), tier("serve_prefetch_dropped_windows_total"))
+		if stale := tier("serve_stale_served_keys_total"); stale > 0 {
+			fmt.Printf("stale serving:     %.0f keys served from outgoing snapshots within S=%d\n", stale, o.staleThr)
+		}
 	}
 
 	// One §7.2 refresh against the hotness measured during the run, so the

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// BaselineEnvelope is the shared frame of every machine-written BENCH_*.json
+// baseline: what was measured, the exact command that regenerates it, the Go
+// toolchain it ran under, and the per-experiment reports. Keeping the frame
+// in one place (instead of ad-hoc per-cmd JSON code) makes baselines
+// self-describing and diff-stable across experiments.
+type BaselineEnvelope struct {
+	Description string         `json:"description"`
+	Command     string         `json:"command"`
+	Go          string         `json:"go"`
+	Reports     map[string]any `json:"reports"`
+}
+
+// WriteBaseline marshals one baseline envelope to path (indented, trailing
+// newline, 0644 — the checked-in BENCH_*.json conventions).
+func WriteBaseline(path, description, command string, reports map[string]any) error {
+	if len(reports) == 0 {
+		return fmt.Errorf("bench: no reports to write to %s", path)
+	}
+	env := BaselineEnvelope{
+		Description: description,
+		Command:     command,
+		Go:          runtime.Version(),
+		Reports:     reports,
+	}
+	data, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -47,6 +47,14 @@ type Options struct {
 	// instrumented core systems so refresh and solver spans land in a
 	// Chrome trace (cmd/ugache-bench -timeline).
 	Timeline *timeline.Recorder
+	// Lookahead, when positive, narrows the prefetch experiment's sweep to
+	// {0, Lookahead} instead of the default {0, 2, 8} (cmd/ugache-bench
+	// -lookahead).
+	Lookahead int
+	// StaleBatches is the bounded-staleness window S the prefetch
+	// experiment serves under (0 = the experiment default of 16;
+	// cmd/ugache-bench -stale-threshold).
+	StaleBatches int
 }
 
 func (o Options) normalize() Options {

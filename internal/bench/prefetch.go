@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ugache/internal/core"
+	"ugache/internal/serve"
+	"ugache/internal/stats"
+	"ugache/internal/telemetry"
+)
+
+func init() {
+	register("prefetch", "served p99 and effective hit rate under lookahead prefetch (L=0/2/8) on the shifting-Zipf stream", prefetchBench)
+}
+
+// PrefetchModeReport is one lookahead depth's run over the shared schedule.
+type PrefetchModeReport struct {
+	Lookahead int `json:"lookahead"`
+	// Served-latency percentiles in milliseconds (modelled extraction time
+	// of each coalesced batch, i.e. what the requester waits on).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// LocalHitRate is the effective hit rate: the fraction of served bytes
+	// resolved on the destination GPU (placement-local plus staged), from
+	// the per-batch trace ring — prefetch traffic itself is excluded.
+	LocalHitRate float64 `json:"local_hit_rate"`
+	// PrefetchHitRate is the fraction of unique served keys that were
+	// staged hits.
+	PrefetchHitRate float64 `json:"prefetch_hit_rate"`
+	// Pipeline accounting.
+	PrefetchHits    int64 `json:"prefetch_hits"`
+	StagedKeys      int64 `json:"staged_keys"`
+	StaleServedKeys int64 `json:"stale_served_keys"`
+	DroppedWindows  int64 `json:"dropped_windows"`
+	// OverlapSimSeconds is the modelled extraction time the pipeline moved
+	// off the critical path (the prefetch extractions' total makespan).
+	OverlapSimSeconds float64 `json:"overlap_sim_seconds"`
+}
+
+// PrefetchReport is the prefetch experiment's machine-readable output
+// (BENCH_prefetch.json).
+type PrefetchReport struct {
+	Server       string               `json:"server"`
+	Entries      int64                `json:"entries"`
+	KeysPerBatch int                  `json:"keys_per_batch"`
+	Batches      int                  `json:"batches"`
+	ShiftBatch   int                  `json:"shift_batch"`
+	StaleBatches int                  `json:"stale_batches"`
+	Modes        []PrefetchModeReport `json:"modes"`
+}
+
+func metricValue(reg *telemetry.Registry, name string) float64 {
+	for _, s := range reg.Samples() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// runPrefetchMode replays the shared flash-crowd schedule through a serving
+// engine at one lookahead depth. The announce stream is a same-seeded rng
+// replica running L batches ahead of the serve stream (the
+// GenBatchAt replay contract), so every batch's keys are announced exactly
+// L batches before they are requested — the BagPipe-style lookahead oracle.
+// A mid-stream Refresh (same batch for every mode) swaps the placement to
+// the post-shift hotness, exercising the bounded-staleness window.
+func runPrefetchMode(o Options, sc *driftScenario, lookahead, stale int) (PrefetchModeReport, error) {
+	rep := PrefetchModeReport{Lookahead: lookahead}
+	reg := telemetry.NewRegistry(sc.p.N)
+	sys, err := core.Build(core.Config{
+		Platform:           sc.p,
+		Hotness:            sc.refHot,
+		EntryBytes:         sc.entryBytes,
+		CacheEntriesPerGPU: sc.capacity,
+		Telemetry:          o.Telemetry,
+		Timeline:           o.Timeline,
+	})
+	if err != nil {
+		return rep, err
+	}
+	srv, err := serve.New(sys, serve.Config{
+		MaxBatchKeys: sc.keysPerBatch,
+		MaxWait:      5 * time.Millisecond,
+		Telemetry:    reg,
+		TraceDepth:   sc.batches + 8,
+		Lookahead:    lookahead,
+		StaleBatches: stale,
+		Timeline:     o.Timeline,
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	peekR := sc.stream() // identical seed: runs L batches ahead in lockstep
+	serveR := sc.stream()
+	announce := func(b int) {
+		if lookahead == 0 || b >= sc.batches {
+			return
+		}
+		keys := sc.sz.GenBatchAt(peekR, b, sc.keysPerBatch)
+		g := b % sc.p.N
+		srv.Prefetch(g, keys)
+		// Perfect-overlap model: in a real pipeline the prefetch hides under
+		// the previous batches' compute; waiting here keeps the replay
+		// deterministic while the modelled cost lands on the prefetch track.
+		srv.WaitPrefetch(g)
+	}
+	for b := 0; b < lookahead; b++ {
+		announce(b)
+	}
+	refreshAt := sc.shiftAt + 2
+	postHot := sc.sz.ExpectedHotness(sc.shiftAt, sc.keysPerBatch)
+	lats := make([]float64, 0, sc.batches)
+	for b := 0; b < sc.batches; b++ {
+		announce(b + lookahead)
+		keys := sc.sz.GenBatchAt(serveR, b, sc.keysPerBatch)
+		res, err := srv.Lookup(b%sc.p.N, keys)
+		if err != nil {
+			srv.Close()
+			return rep, err
+		}
+		lats = append(lats, res.SimSeconds)
+		if b == refreshAt {
+			if _, err := sys.Refresh(postHot, 0.001, sc.refreshConfig(0.001)); err != nil {
+				srv.Close()
+				return rep, err
+			}
+		}
+	}
+	traces := srv.Trace().Snapshot(nil)
+	srv.Close()
+
+	q := stats.Quantiles(append([]float64(nil), lats...), 0.50, 0.99)
+	rep.P50Ms, rep.P99Ms = q[0]*1e3, q[1]*1e3
+	var local, total float64
+	for _, tr := range traces {
+		local += tr.LocalBytes
+		total += tr.LocalBytes + tr.RemoteBytes + tr.HostBytes
+	}
+	if total > 0 {
+		rep.LocalHitRate = local / total
+	}
+	uniq := metricValue(reg, "serve_unique_keys_total")
+	rep.PrefetchHits = int64(metricValue(reg, "serve_fill_prefetch_hit"))
+	if uniq > 0 {
+		rep.PrefetchHitRate = float64(rep.PrefetchHits) / uniq
+	}
+	rep.StagedKeys = int64(metricValue(reg, "serve_prefetch_staged_keys_total"))
+	rep.StaleServedKeys = int64(metricValue(reg, "serve_stale_served_keys_total"))
+	rep.DroppedWindows = int64(metricValue(reg, "serve_prefetch_dropped_windows_total"))
+	rep.OverlapSimSeconds = metricValue(reg, "serve_prefetch_sim_seconds_total")
+	return rep, nil
+}
+
+// prefetchBench sweeps the lookahead depth over one flash-crowd schedule
+// (the Fig. 16/17 analogue for the prefetch pipeline): L=0 is the
+// demand-only baseline, deeper lookahead converts would-be remote/host
+// misses into staged local hits and the served tail collapses accordingly.
+func prefetchBench(o Options) (*Result, error) {
+	sc := newDriftScenario(o)
+	stale := o.StaleBatches
+	if stale <= 0 {
+		stale = 16
+	}
+	sweep := []int{0, 2, 8}
+	if o.Lookahead > 0 {
+		sweep = []int{0, o.Lookahead}
+	}
+	report := &PrefetchReport{
+		Server:       sc.p.Name,
+		Entries:      sc.n,
+		KeysPerBatch: sc.keysPerBatch,
+		Batches:      sc.batches,
+		ShiftBatch:   sc.shiftAt,
+		StaleBatches: stale,
+	}
+	for _, L := range sweep {
+		m, err := runPrefetchMode(o, sc, L, stale)
+		if err != nil {
+			return nil, err
+		}
+		report.Modes = append(report.Modes, m)
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Prefetch: lookahead sweep, flash-crowd at batch %d/%d, %s, %d entries, S=%d",
+			sc.shiftAt, sc.batches, sc.p.Name, sc.n, stale),
+		"lookahead", "p50(ms)", "p99(ms)", "local-hit", "pf-hit", "staged", "stale", "overlap(s)")
+	for _, m := range report.Modes {
+		t.AddRow(fmt.Sprintf("L=%d", m.Lookahead),
+			fmt.Sprintf("%.3f", m.P50Ms),
+			fmt.Sprintf("%.3f", m.P99Ms),
+			fmtPct(m.LocalHitRate),
+			fmtPct(m.PrefetchHitRate),
+			fmt.Sprintf("%d", m.StagedKeys),
+			fmt.Sprintf("%d", m.StaleServedKeys),
+			fmt.Sprintf("%.4f", m.OverlapSimSeconds))
+	}
+	text := t.String() +
+		"\nLookahead converts announced-batch misses into staged local hits: the demand\n" +
+		"extraction only pays for the un-announced residue, so served p50/p99 drop and\n" +
+		"the effective local-hit rate approaches 100%. The overlap column is the modelled\n" +
+		"extraction time the pipeline absorbed off the critical path; 'stale' counts keys\n" +
+		"served from outgoing-snapshot rows inside the S-batch staleness window around\n" +
+		"the mid-stream refresh.\n"
+	return &Result{Name: "prefetch", Text: text, JSON: report}, nil
+}

@@ -89,6 +89,13 @@ type engineState struct {
 	placement *solver.Placement
 	extractor *extract.Extractor
 	input     solver.Input
+	// version counts published placements: Build stores 1, every Refresh
+	// increments. Consumers holding data derived from an older version (the
+	// serve layer's staging arena) use it to enforce the bounded-staleness
+	// contract: rows gathered under version v remain servable after a swap to
+	// v+1 only within the caller's staleness window of S batches, instead of
+	// stalling every in-flight prefetch behind the new snapshot.
+	version uint64
 }
 
 // System is a built UGache instance.
@@ -330,7 +337,7 @@ func Build(cfg Config) (*System, error) {
 		cfg.Timeline.SetThreadName(timeline.ProcControl, timeline.TIDRefresh, "cache refresh")
 		cfg.Timeline.SetThreadName(timeline.ProcControl, timeline.TIDSolver, "policy solver")
 	}
-	s.state.Store(&engineState{placement: pl, extractor: ex, input: in})
+	s.state.Store(&engineState{placement: pl, extractor: ex, input: in, version: 1})
 	return s, nil
 }
 
@@ -365,6 +372,12 @@ func (s *System) Telemetry() bool { return s.met != nil }
 
 // Placement returns the currently active placement.
 func (s *System) Placement() *solver.Placement { return s.state.Load().placement }
+
+// PlacementVersion returns the published placement's version: 1 after Build,
+// incremented by every successful Refresh. Data gathered under an older
+// version (staged prefetch rows) is subject to the bounded-staleness
+// contract documented on engineState.
+func (s *System) PlacementVersion() uint64 { return s.state.Load().version }
 
 // Extractor returns the extractor for the currently active placement.
 func (s *System) Extractor() *extract.Extractor { return s.state.Load().extractor }
@@ -414,6 +427,11 @@ func (s *System) EstimatedTimes() []float64 {
 // before anything is committed, and the placement/input/extractor triple is
 // published in one swap only after the cache refresh succeeded. Concurrent
 // lookups and extractions keep running against the old state throughout.
+// The swap bumps PlacementVersion; consumers holding rows gathered under
+// the outgoing placement (the serve layer's staging arena) may keep serving
+// them for up to their configured staleness window of S batches instead of
+// stalling behind the new snapshot — embedding content is immutable here,
+// so staleness only affects tier classification, never row bytes.
 func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg cache.RefreshConfig) (*cache.RefreshReport, error) {
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
@@ -458,7 +476,7 @@ func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg 
 	if err != nil {
 		return nil, err
 	}
-	s.state.Store(&engineState{placement: pl, extractor: ex, input: in})
+	s.state.Store(&engineState{placement: pl, extractor: ex, input: in, version: old.version + 1})
 	return rep, nil
 }
 

@@ -73,6 +73,13 @@ const NCCLEfficiency = 0.8
 type Batch struct {
 	// Keys[g] are the unique embedding keys GPU g must extract.
 	Keys [][]int64
+	// Staged[g], when non-nil, are the keys GPU g serves from its transient
+	// staging arena this iteration (lookahead prefetch hits). They were moved
+	// over the interconnect by an earlier prefetch extraction, so the demand
+	// batch charges them as local HBM reads: the staged-source plan adds
+	// their bytes to the g<-local demand instead of their placement source.
+	// Staged must be disjoint from Keys[g].
+	Staged [][]int64
 }
 
 // Result reports one simulated extraction.

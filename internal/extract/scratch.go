@@ -151,13 +151,18 @@ func (e *Extractor) groupGPU(g int, keys []int64, row []float64, eb float64, n i
 }
 
 // srcBytes groups a batch by source location: bytes[g][j] = bytes GPU g
-// pulls from source j under the placement's access arrangement. Large
-// batches are grouped in parallel, one GPU per worker; each matrix row is
-// written by exactly one worker and rows are merged in GPU order, so the
-// result is bit-identical to the sequential pass.
+// pulls from source j under the placement's access arrangement. Staged keys
+// (Batch.Staged, the lookahead prefetch hits) bypass the placement and are
+// charged as local HBM reads — the staged-source plan. Large batches are
+// grouped in parallel, one GPU per worker; each matrix row is written by
+// exactly one worker and rows are merged in GPU order, so the result is
+// bit-identical to the sequential pass.
 func (e *Extractor) srcBytes(b *Batch, sc *Scratch) ([][]float64, error) {
 	if len(b.Keys) != e.P.N {
 		return nil, fmt.Errorf("extract: batch has %d GPUs, platform %d", len(b.Keys), e.P.N)
+	}
+	if b.Staged != nil && len(b.Staged) != e.P.N {
+		return nil, fmt.Errorf("extract: staged plan has %d GPUs, platform %d", len(b.Staged), e.P.N)
 	}
 	eb := e.entryBytes()
 	n := e.Pl.NumEntries()
@@ -170,6 +175,16 @@ func (e *Extractor) srcBytes(b *Batch, sc *Scratch) ([][]float64, error) {
 		for g := range out {
 			out[g] = make([]float64, ns)
 		}
+	}
+	// Staged keys are few (bounded by the staging arena) and need only a
+	// range check, so they are folded in up front on the sequential path.
+	for g, staged := range b.Staged {
+		for _, k := range staged {
+			if k < 0 || k >= n {
+				return nil, fmt.Errorf("extract: staged key %d outside [0, %d)", k, n)
+			}
+		}
+		out[g][g] += eb * float64(len(staged))
 	}
 	total, nonEmpty := 0, 0
 	for _, keys := range b.Keys {

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"time"
+
+	"ugache/internal/cache"
+	"ugache/internal/core"
+	"ugache/internal/extract"
+	"ugache/internal/hashtable"
+	"ugache/internal/timeline"
+)
+
+// prefetchWindow is one announced lookahead window: a copy of the keys a
+// client expects to request L batches from now. Windows are pooled so the
+// announce path allocates only on depth growth.
+type prefetchWindow struct {
+	keys []int64
+}
+
+// Prefetch announces the keys of an upcoming batch on GPU gpu so the
+// prefetch worker can stage their would-be misses ahead of the batch's
+// flush (the BagPipe-style lookahead oracle: a DLR/GNN input pipeline knows
+// its next several batches while compute runs). The keys are copied; the
+// caller keeps ownership. The call never blocks: when the prefetch queue is
+// full the window is dropped (and counted) — prefetching is advisory, the
+// batch will simply pay its demand misses. Returns whether the window was
+// accepted. A server built with Config.Lookahead == 0 rejects all windows.
+func (s *Server) Prefetch(gpu int, keys []int64) bool {
+	if s.prefetchQ == nil || gpu < 0 || gpu >= len(s.prefetchQ) || len(keys) == 0 {
+		return false
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return false
+	}
+	w := s.windowPool.Get().(*prefetchWindow)
+	w.keys = append(w.keys[:0], keys...)
+	s.prefetchPending[gpu].Add(1)
+	select {
+	case s.prefetchQ[gpu] <- w:
+		return true
+	default:
+		s.prefetchPending[gpu].Add(-1)
+		w.keys = w.keys[:0]
+		s.windowPool.Put(w)
+		s.met.prefetchDropped.Add(gpu, 1)
+		return false
+	}
+}
+
+// WaitPrefetch blocks until GPU gpu's prefetch worker has fully staged (or
+// dropped) every window announced so far — the deterministic
+// perfect-overlap sync point the bench and tests use. Serving itself never
+// calls this: a flush consumes whatever happens to be staged.
+func (s *Server) WaitPrefetch(gpu int) {
+	if s.prefetchPending == nil || gpu < 0 || gpu >= len(s.prefetchPending) {
+		return
+	}
+	for s.prefetchPending[gpu].Load() > 0 {
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// StagingArena exposes GPU gpu's staging arena (nil when lookahead is
+// disabled) for tests and diagnostics.
+func (s *Server) StagingArena(gpu int) *cache.StagingArena {
+	if s.staging == nil || gpu < 0 || gpu >= len(s.staging) {
+		return nil
+	}
+	return s.staging[gpu]
+}
+
+// prefetchScratch is one prefetch worker's reusable state, mirroring
+// workerScratch: its own dedup table, fetch list, single-GPU extraction
+// batch, gathered-row buffer and core scratch, so a steady-state window
+// costs no allocation beyond buffer growth.
+type prefetchScratch struct {
+	dedup *hashtable.Dedup
+	fetch []int64
+	batch extract.Batch
+	rows  []byte
+	core  *core.Scratch
+	span  *timeline.Shard
+}
+
+func (s *Server) newPrefetchScratch(g int) *prefetchScratch {
+	sc := &prefetchScratch{
+		dedup: hashtable.NewDedup(s.cfg.MaxBatchKeys),
+		batch: extract.Batch{Keys: make([][]int64, s.sys.P.N)},
+		core:  core.NewScratch(),
+	}
+	if s.tl != nil {
+		sc.span = s.tl.Shard(g)
+	}
+	return sc
+}
+
+// prefetchWorker is GPU g's staging loop: dequeue an announced window,
+// filter it down to keys worth moving, extract them off the critical path,
+// and commit the rows into the staging arena. Runs only when
+// Config.Lookahead > 0.
+func (s *Server) prefetchWorker(g int) {
+	defer s.wg.Done()
+	q := s.prefetchQ[g]
+	sc := s.newPrefetchScratch(g)
+	for {
+		select {
+		case w := <-q:
+			s.prefetchWindow(g, w, sc)
+		case <-s.done:
+			// Shutdown: discard what is still queued — prefetching is
+			// advisory and nobody will flush against it anymore. Close's
+			// write lock has excluded every Prefetch caller, so an empty
+			// poll means empty for good.
+			for {
+				select {
+				case w := <-q:
+					s.prefetchPending[g].Add(-1)
+					w.keys = w.keys[:0]
+					s.windowPool.Put(w)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// prefetchWindow stages one announced window. Keys already resolving to the
+// local tier under the current placement, keys already staged and still
+// servable, and duplicate/out-of-range keys are filtered out; the remainder
+// is extracted (charged to the prefetch track, not serving latency) and
+// committed under the placement version the rows were gathered against.
+func (s *Server) prefetchWindow(g int, w *prefetchWindow, sc *prefetchScratch) {
+	defer func() {
+		s.prefetchPending[g].Add(-1)
+		w.keys = w.keys[:0]
+		s.windowPool.Put(w)
+	}()
+	var tStart, tFilter, tExtract float64
+	if sc.span != nil {
+		tStart = s.tl.Now()
+	}
+	arena := s.staging[g]
+	pl := s.sys.Placement()
+	version := s.sys.PlacementVersion()
+	now := s.batchSeq[g].Load()
+	stale := int64(s.cfg.StaleBatches)
+	n := pl.NumEntries()
+	announced := len(w.keys)
+
+	// Filter: one generation-stamped dedup pass per window, then drop keys
+	// the flush would already serve locally (placement-local) or that are
+	// already staged and servable.
+	sc.dedup.Reset(announced)
+	fetch := sc.fetch[:0]
+	for _, k := range w.keys {
+		if k < 0 || k >= n {
+			continue
+		}
+		if _, fresh := sc.dedup.Add(k); !fresh {
+			continue
+		}
+		if int(pl.SourceOf(g, k)) == g {
+			continue
+		}
+		if arena.Resident(k, now, stale, version) {
+			continue
+		}
+		fetch = append(fetch, k)
+	}
+	sc.fetch = fetch
+	if sc.span != nil {
+		tFilter = s.tl.Now()
+		tExtract = tFilter
+	}
+
+	simTime := 0.0
+	if len(fetch) > 0 {
+		// The prefetch extraction models the real interconnect cost of the
+		// early move; it lands on the prefetch metrics/track, not on any
+		// request's SimSeconds — that is the whole point of the overlap.
+		sc.batch.Keys[g] = fetch
+		res, err := s.sys.ExtractBatchWith(&sc.batch, sc.core)
+		sc.batch.Keys[g] = nil
+		if err != nil {
+			s.met.prefetchErrors.Add(g, 1)
+			return
+		}
+		simTime = res.Time
+		if sc.span != nil {
+			tExtract = s.tl.Now()
+		}
+		var rows []byte
+		if s.functional {
+			need := len(fetch) * s.entryBytes
+			if cap(sc.rows) < need {
+				sc.rows = make([]byte, need)
+			}
+			rows = sc.rows[:need]
+			if err := s.sys.LookupWith(g, fetch, rows, sc.core); err != nil {
+				s.met.prefetchErrors.Add(g, 1)
+				return
+			}
+		}
+		if err := arena.Commit(fetch, rows, version, now); err != nil {
+			s.met.prefetchErrors.Add(g, 1)
+			return
+		}
+	}
+
+	m := s.met
+	m.prefetchWindows.Add(g, 1)
+	m.prefetchStagedKeys.Add(g, int64(len(fetch)))
+	m.prefetchSimSeconds.Add(g, simTime)
+
+	if sc.span != nil {
+		tEnd := s.tl.Now()
+		tid := int32(g)
+		root := timeline.Event{Name: "prefetch-window", Cat: "prefetch", Ph: timeline.PhSpan,
+			PID: timeline.ProcPrefetch, TID: tid, Start: tStart, Dur: tEnd - tStart}
+		root.AddArg("announced_keys", float64(announced))
+		root.AddArg("fetched_keys", float64(len(fetch)))
+		root.AddArg("sim_seconds", simTime)
+		sc.span.Emit(&root)
+		child := func(name string, start, end float64) {
+			if end < start {
+				end = start
+			}
+			ev := timeline.Event{Name: name, Cat: "prefetch", Ph: timeline.PhSpan,
+				PID: timeline.ProcPrefetch, TID: tid, Start: start, Dur: end - start}
+			sc.span.Emit(&ev)
+		}
+		child("filter", tStart, tFilter)
+		child("extract", tFilter, tExtract)
+		child("stage", tExtract, tEnd)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ugache/internal/cache"
@@ -48,6 +49,21 @@ type Config struct {
 	MaxWait time.Duration
 	// QueueDepth is the per-GPU request queue buffer (default 256).
 	QueueDepth int
+
+	// Lookahead enables the prefetch pipeline: L is how many batches ahead
+	// clients announce upcoming keys via Prefetch, and sizes the per-GPU
+	// prefetch queue. 0 (the default) disables prefetching entirely — no
+	// staging arena, no workers, and a flush path identical to a
+	// non-prefetching server.
+	Lookahead int
+	// StaleBatches is the bounded-staleness window S: after a Refresh swaps
+	// the placement, staged rows committed under the outgoing version may
+	// still be served for up to S batches instead of being discarded. 0
+	// means staged rows die with their snapshot.
+	StaleBatches int
+	// StagingEntries sizes each GPU's staging arena in rows (default
+	// Lookahead x MaxBatchKeys).
+	StagingEntries int
 
 	// Telemetry receives the engine's metrics. Nil creates a private
 	// registry (sharded per GPU), so Metrics and Stats always work; pass
@@ -94,6 +110,15 @@ func (c Config) normalize() Config {
 	}
 	if c.TraceEvery <= 0 {
 		c.TraceEvery = 1
+	}
+	if c.Lookahead < 0 {
+		c.Lookahead = 0
+	}
+	if c.StaleBatches < 0 {
+		c.StaleBatches = 0
+	}
+	if c.Lookahead > 0 && c.StagingEntries <= 0 {
+		c.StagingEntries = c.Lookahead * c.MaxBatchKeys
 	}
 	return c
 }
@@ -154,6 +179,26 @@ type metrics struct {
 	fill          [3]*telemetry.Counter // indexed by telemetry.FillReason
 	latency       *telemetry.Histogram
 	queueWait     *telemetry.Histogram
+
+	// Fill-source split: every unique key a flush resolves is either a
+	// prefetch hit (served from the staging arena) or a demand miss (paid
+	// for by the batch's own extraction), so fillPrefetchHit +
+	// fillDemandMiss == uniqueKeys. With lookahead off every key is a
+	// demand miss.
+	fillPrefetchHit *telemetry.Counter
+	fillDemandMiss  *telemetry.Counter
+
+	// Prefetch-pipeline counters; all zero when Lookahead is 0.
+	prefetchWindows    *telemetry.Counter
+	prefetchStagedKeys *telemetry.Counter
+	prefetchDropped    *telemetry.Counter
+	prefetchErrors     *telemetry.Counter
+	prefetchSimSeconds *telemetry.FloatCounter
+
+	// Bounded-staleness observability: how many staged keys were served
+	// past their placement version, and the last batch's maximum staleness.
+	staleServedKeys *telemetry.Counter
+	staleness       *telemetry.Gauge
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -173,6 +218,18 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		},
 		latency:   reg.Histogram("serve_request_latency_seconds", "request latency from enqueue to reply", latencyBuckets),
 		queueWait: reg.Histogram("serve_queue_wait_seconds", "queue wait of a batch's first request", latencyBuckets),
+
+		fillPrefetchHit: reg.Counter("serve_fill_prefetch_hit", "unique keys served from the lookahead staging arena"),
+		fillDemandMiss:  reg.Counter("serve_fill_demand_miss", "unique keys paid for by the batch's own demand extraction"),
+
+		prefetchWindows:    reg.Counter("serve_prefetch_windows_total", "lookahead windows staged"),
+		prefetchStagedKeys: reg.Counter("serve_prefetch_staged_keys_total", "keys committed into the staging arenas"),
+		prefetchDropped:    reg.Counter("serve_prefetch_dropped_windows_total", "lookahead windows dropped on a full prefetch queue"),
+		prefetchErrors:     reg.Counter("serve_prefetch_errors_total", "prefetch windows abandoned on extract/gather/commit errors"),
+		prefetchSimSeconds: reg.FloatCounter("serve_prefetch_sim_seconds_total", "simulated extraction seconds spent off the critical path by prefetch"),
+
+		staleServedKeys: reg.Counter("serve_stale_served_keys_total", "staged keys served past their placement version within the staleness window"),
+		staleness:       reg.Gauge("serve_staleness_last_batches", "maximum staleness in batches among the last flush's staged hits"),
 	}
 }
 
@@ -205,6 +262,15 @@ type Server struct {
 
 	tl      *timeline.Recorder
 	linkCap []float64 // topology link capacities, for utilization span args
+
+	// Lookahead prefetch pipeline (nil/empty when Config.Lookahead == 0).
+	// batchSeq[g] counts GPU g's flushed batches; it is the logical clock
+	// the staging arena's bounded-staleness contract is measured in.
+	staging         []*cache.StagingArena
+	prefetchQ       []chan *prefetchWindow
+	prefetchPending []atomic.Int64
+	batchSeq        []atomic.Int64
+	windowPool      sync.Pool
 }
 
 // New starts the serving engine for a built system.
@@ -249,10 +315,42 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 			s.linkCap[l] = link.Capacity
 		}
 	}
+	if cfg.Lookahead > 0 {
+		n := sys.P.N
+		s.staging = make([]*cache.StagingArena, n)
+		s.prefetchQ = make([]chan *prefetchWindow, n)
+		s.prefetchPending = make([]atomic.Int64, n)
+		s.batchSeq = make([]atomic.Int64, n)
+		s.windowPool.New = func() any { return &prefetchWindow{} }
+		depth := 2 * cfg.Lookahead
+		if depth < 8 {
+			depth = 8
+		}
+		for g := 0; g < n; g++ {
+			arena, err := cache.NewStaging(cfg.StagingEntries, s.entryBytes, s.functional)
+			if err != nil {
+				return nil, err
+			}
+			s.staging[g] = arena
+			s.prefetchQ[g] = make(chan *prefetchWindow, depth)
+		}
+		if s.tl != nil {
+			s.tl.SetProcessName(timeline.ProcPrefetch, "prefetch")
+			for g := 0; g < n; g++ {
+				s.tl.SetThreadName(timeline.ProcPrefetch, int32(g), fmt.Sprintf("gpu %d prefetch", g))
+			}
+		}
+	}
 	for g := range s.queues {
 		s.queues[g] = make(chan *request, s.cfg.QueueDepth)
 		s.wg.Add(1)
 		go s.worker(g)
+	}
+	if s.prefetchQ != nil {
+		for g := range s.prefetchQ {
+			s.wg.Add(1)
+			go s.prefetchWorker(g)
+		}
 	}
 	return s, nil
 }
@@ -343,6 +441,18 @@ type workerScratch struct {
 	core  *core.Scratch
 	seq   int64 // batches flushed by this worker (trace sampling)
 	span  *timeline.Shard
+
+	// Staging-consume buffers, used only when the prefetch pipeline is on:
+	// the per-unique-key hit mask, the residual demand keys with their
+	// positions in uniq, the staged-hit key list for the extraction's
+	// staged-source plan, and the demand gather target (scattered back into
+	// rows afterwards). All grow once and live with the worker, keeping the
+	// enabled flush path allocation-free too.
+	hit        []bool
+	demand     []int64
+	demandIdx  []int32
+	staged     []int64
+	demandRows []byte
 }
 
 func (s *Server) newWorkerScratch(g int) *workerScratch {
@@ -350,6 +460,9 @@ func (s *Server) newWorkerScratch(g int) *workerScratch {
 		dedup: hashtable.NewDedup(s.cfg.MaxBatchKeys),
 		batch: extract.Batch{Keys: make([][]int64, s.sys.P.N)},
 		core:  core.NewScratch(),
+	}
+	if s.staging != nil {
+		sc.batch.Staged = make([][]int64, s.sys.P.N)
 	}
 	if s.tl != nil {
 		sc.span = s.tl.Shard(g)
@@ -448,14 +561,60 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 	}
 	sc.uniq = uniq
 
+	// Resolve staged prefetch hits before the extraction (pipeline on only):
+	// hit rows are copied straight out of the staging arena under one read
+	// lock, the residual demand keys ride the extraction as usual, and the
+	// staged keys are charged as local reads via the staged-source plan so
+	// the batch's modelled time reflects the overlap win.
+	extractKeys := uniq
+	prefetchHits, staleServed := 0, 0
+	staleMax := int64(0)
+	var rows []byte
+	if s.functional {
+		need := len(uniq) * s.entryBytes
+		if cap(sc.rows) < need {
+			sc.rows = make([]byte, need)
+		}
+		rows = sc.rows[:need]
+	}
+	if s.staging != nil {
+		if cap(sc.hit) < len(uniq) {
+			sc.hit = make([]bool, len(uniq))
+		}
+		hitMask := sc.hit[:len(uniq)]
+		version := s.sys.PlacementVersion()
+		now := s.batchSeq[g].Load()
+		prefetchHits, staleServed, staleMax = s.staging[g].Consume(
+			uniq, now, int64(s.cfg.StaleBatches), version, rows, hitMask)
+		if prefetchHits > 0 {
+			demand := sc.demand[:0]
+			demandIdx := sc.demandIdx[:0]
+			stagedKeys := sc.staged[:0]
+			for i, k := range uniq {
+				if hitMask[i] {
+					stagedKeys = append(stagedKeys, k)
+				} else {
+					demand = append(demand, k)
+					demandIdx = append(demandIdx, int32(i))
+				}
+			}
+			sc.demand, sc.demandIdx, sc.staged = demand, demandIdx, stagedKeys
+			sc.batch.Staged[g] = stagedKeys
+			extractKeys = demand
+		}
+	}
+
 	// One simulated extraction for the whole coalesced batch. The result
 	// aliases sc.core, so pull out the scalars we need before reusing it.
-	sc.batch.Keys[g] = uniq
+	sc.batch.Keys[g] = extractKeys
 	if sc.span != nil {
 		ft.extractStart = s.tl.Now()
 	}
 	res, err := s.sys.ExtractBatchWith(&sc.batch, sc.core)
 	sc.batch.Keys[g] = nil
+	if sc.batch.Staged != nil {
+		sc.batch.Staged[g] = nil
+	}
 	if err != nil {
 		s.fail(batch, err)
 		return
@@ -469,7 +628,7 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 	sc.seq++
 	sampled := sc.seq%int64(s.cfg.TraceEvery) == 0
 	if s.ring != nil && sampled {
-		s.recordTrace(g, sc.seq, batch, res, requested, len(uniq), reason, queueWait, simTime)
+		s.recordTrace(g, sc.seq, batch, res, requested, len(uniq), reason, queueWait, simTime, prefetchHits, staleMax)
 	}
 
 	// Feed the §7.2 hotness sampler with this batch's unique keys; shard g
@@ -481,16 +640,28 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 		s.ctrl.BatchObserved()
 	}
 
-	// One functional gather of the unique rows into the staging buffer, if
-	// the system holds bytes.
-	var rows []byte
+	// One functional gather into the worker's row buffer, if the system
+	// holds bytes. With staged hits the gather covers only the residual
+	// demand keys — their rows land in a side buffer and are scattered back
+	// into the hit-interleaved positions; the staged rows were already
+	// copied by Consume.
 	if s.functional {
-		need := len(uniq) * s.entryBytes
-		if cap(sc.rows) < need {
-			sc.rows = make([]byte, need)
-		}
-		rows = sc.rows[:need]
-		if err := s.sys.LookupWith(g, uniq, rows, sc.core); err != nil {
+		if prefetchHits > 0 {
+			if len(extractKeys) > 0 {
+				need := len(extractKeys) * s.entryBytes
+				if cap(sc.demandRows) < need {
+					sc.demandRows = make([]byte, need)
+				}
+				dr := sc.demandRows[:need]
+				if err := s.sys.LookupWith(g, extractKeys, dr, sc.core); err != nil {
+					s.fail(batch, err)
+					return
+				}
+				for j, i := range sc.demandIdx {
+					copy(rows[int(i)*s.entryBytes:(int(i)+1)*s.entryBytes], dr[j*s.entryBytes:(j+1)*s.entryBytes])
+				}
+			}
+		} else if err := s.sys.LookupWith(g, uniq, rows, sc.core); err != nil {
 			s.fail(batch, err)
 			return
 		}
@@ -529,10 +700,21 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 	m.simSeconds.Add(g, simTime)
 	m.fill[reason].Add(g, 1)
 	m.queueWait.Observe(g, queueWait.Seconds())
+	m.fillPrefetchHit.Add(g, int64(prefetchHits))
+	m.fillDemandMiss.Add(g, int64(len(uniq)-prefetchHits))
+	if s.staging != nil {
+		if staleServed > 0 {
+			m.staleServedKeys.Add(g, int64(staleServed))
+		}
+		m.staleness.Set(float64(staleMax))
+		// Advance GPU g's batch clock: the staleness window of every staged
+		// row is measured against this sequence.
+		s.batchSeq[g].Add(1)
+	}
 
 	if sc.span != nil {
 		ft.replyEnd = s.tl.Now()
-		s.emitFlushSpans(g, sc, &ft, len(batch), requested, len(uniq), reason, simTime, phases, sampled)
+		s.emitFlushSpans(g, sc, &ft, len(batch), requested, len(uniq), reason, simTime, phases, sampled, prefetchHits, staleMax)
 	}
 }
 
@@ -550,7 +732,8 @@ type flushTimes struct {
 // beyond the shard's ring copy.
 func (s *Server) emitFlushSpans(g int, sc *workerScratch, ft *flushTimes,
 	requests, requested, unique int, reason telemetry.FillReason,
-	simTime float64, phases *sim.PhaseLog, sampled bool) {
+	simTime float64, phases *sim.PhaseLog, sampled bool,
+	prefetchHits int, staleMax int64) {
 	tid := int32(g)
 	root := timeline.Event{Name: "batch", Cat: "serve", Ph: timeline.PhSpan,
 		PID: timeline.ProcServe, TID: tid, Start: ft.enqueue, Dur: ft.replyEnd - ft.enqueue}
@@ -559,6 +742,10 @@ func (s *Server) emitFlushSpans(g int, sc *workerScratch, ft *flushTimes,
 	root.AddArg("unique_keys", float64(unique))
 	root.AddArg("sim_seconds", simTime)
 	root.AddArg("fill_reason", float64(reason))
+	if s.staging != nil {
+		root.AddArg("prefetch_hits", float64(prefetchHits))
+		root.AddArg("staleness_batches", float64(staleMax))
+	}
 	sc.span.Emit(&root)
 	child := func(name string, start, end float64) {
 		if end < start {
@@ -603,7 +790,8 @@ func (s *Server) emitFlushSpans(g int, sc *workerScratch, ft *flushTimes,
 // the per-tier bytes and modelled seconds from the extractor's
 // source-volume matrix (read before the scratch is reused).
 func (s *Server) recordTrace(g int, seq int64, batch []*request, res *extract.Result,
-	requested, unique int, reason telemetry.FillReason, queueWait time.Duration, simTime float64) {
+	requested, unique int, reason telemetry.FillReason, queueWait time.Duration, simTime float64,
+	prefetchHits int, staleMax int64) {
 	tr := telemetry.BatchTrace{
 		Seq:              seq,
 		GPU:              g,
@@ -614,6 +802,8 @@ func (s *Server) recordTrace(g int, seq int64, batch []*request, res *extract.Re
 		UniqueKeys:       unique,
 		Reason:           reason,
 		SimSeconds:       simTime,
+		PrefetchHits:     prefetchHits,
+		StaleBatches:     staleMax,
 	}
 	host := int(s.sys.P.Host())
 	for j, bytes := range res.SrcBytes[g] {

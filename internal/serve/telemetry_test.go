@@ -93,6 +93,18 @@ func TestServeTelemetry(t *testing.T) {
 		t.Fatalf("serve_sim_seconds_total %g", got)
 	}
 
+	// Fill-source split: with lookahead off every unique key is a demand
+	// miss and no key is a prefetch hit; the two always sum to the unique
+	// total.
+	hitFill := sampleValue(t, reg, "serve_fill_prefetch_hit")
+	missFill := sampleValue(t, reg, "serve_fill_demand_miss")
+	if hitFill != 0 {
+		t.Fatalf("serve_fill_prefetch_hit %g with lookahead disabled", hitFill)
+	}
+	if missFill != uniq {
+		t.Fatalf("serve_fill_demand_miss %g, want %g", missFill, uniq)
+	}
+
 	// Core-level split: every unique key landed in exactly one tier.
 	tiers := sampleValue(t, reg, "core_hit_local_keys_total") +
 		sampleValue(t, reg, "core_hit_remote_keys_total") +
@@ -137,6 +149,58 @@ func TestServeTelemetry(t *testing.T) {
 	}
 	if _, err := sampler.Hotness(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeTelemetryPrefetchFillSplit drives a lookahead-enabled server
+// with a perfectly announced stream and checks the fill-source counters:
+// prefetch hits appear, and hits + demand misses always equal the unique
+// total.
+func TestServeTelemetryPrefetchFillSplit(t *testing.T) {
+	reg := telemetry.NewRegistry(4)
+	sys, err := core.Build(core.Config{
+		Platform:   platform.ServerA(),
+		Hotness:    testHotness(2000, 1.1, 3),
+		EntryBytes: 64,
+		CacheRatio: 0.1,
+		Telemetry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, Config{
+		MaxBatchKeys: 1 << 20,
+		MaxWait:      time.Millisecond,
+		Telemetry:    reg,
+		Lookahead:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []int64{5, 17, 101, 999, 1500}
+	if !srv.Prefetch(0, keys) {
+		t.Fatal("prefetch window rejected")
+	}
+	srv.WaitPrefetch(0)
+	if _, err := srv.Lookup(0, keys); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	uniq := sampleValue(t, reg, "serve_unique_keys_total")
+	hitFill := sampleValue(t, reg, "serve_fill_prefetch_hit")
+	missFill := sampleValue(t, reg, "serve_fill_demand_miss")
+	if hitFill+missFill != uniq {
+		t.Fatalf("fill split %g + %g != unique %g", hitFill, missFill, uniq)
+	}
+	if hitFill == 0 {
+		t.Fatal("no prefetch hits despite a fully announced batch")
+	}
+	if got := sampleValue(t, reg, "serve_prefetch_windows_total"); got != 1 {
+		t.Fatalf("serve_prefetch_windows_total %g, want 1", got)
+	}
+	if got := sampleValue(t, reg, "serve_prefetch_staged_keys_total"); got != hitFill {
+		t.Fatalf("staged %g keys but %g hit — a perfectly announced stream should consume all of them", got, hitFill)
 	}
 }
 

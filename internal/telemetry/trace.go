@@ -59,6 +59,14 @@ type BatchTrace struct {
 	Reason FillReason `json:"reason"`
 	// SimSeconds is the modelled extraction time of the batch.
 	SimSeconds float64 `json:"sim_seconds"`
+	// PrefetchHits is how many unique keys were served from the lookahead
+	// staging arena instead of the placement's source tier.
+	PrefetchHits int `json:"prefetch_hits,omitempty"`
+	// StaleBatches is the maximum bounded-staleness (in batches) among the
+	// staged rows this batch consumed — non-zero only when rows committed
+	// under an outgoing placement version were served inside the staleness
+	// window.
+	StaleBatches int64 `json:"stale_batches,omitempty"`
 	// Per-tier bytes moved, from the extractor's source-volume matrix.
 	LocalBytes  float64 `json:"local_bytes"`
 	RemoteBytes float64 `json:"remote_bytes"`

@@ -33,6 +33,11 @@ const (
 	// ProcControl holds slow-path control spans: cache refresh steps and
 	// solver introspection.
 	ProcControl = 3
+	// ProcPrefetch holds the lookahead prefetch pipeline's window spans, one
+	// tid per GPU prefetch worker. Keeping it a separate process group makes
+	// the prefetch/extraction overlap directly visible against the ProcServe
+	// batch trees in Perfetto.
+	ProcPrefetch = 4
 )
 
 // Conventional ProcControl thread IDs.

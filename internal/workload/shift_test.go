@@ -146,3 +146,69 @@ func argmax(h Hotness) int64 {
 	}
 	return best
 }
+
+// TestGenBatchAtLookaheadReplay pins the replayability contract the serve
+// layer's lookahead prefetch relies on: a peek stream generating batch b's
+// keys L batches early (via explicit GenBatchAt indices on its own
+// same-seeded rng) must produce byte-identical keys to the serve stream
+// that later generates batch b via GenBatch — including across the
+// flash-crowd rotation boundary, where the rank→key mapping changes
+// between adjacent batch indices.
+func TestGenBatchAtLookaheadReplay(t *testing.T) {
+	const (
+		size    = 256
+		batches = 30
+		shiftAt = 12
+		L       = 8 // lookahead reaches across the rotation at shiftAt
+	)
+	wl, err := NewFlashCrowd(5000, 1.05, shiftAt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 97
+	peekR := rng.New(seed)
+	serveR := rng.New(seed)
+
+	// The peek stream runs L batches ahead: by the time the serve stream
+	// draws batch b, batch b's keys were already peeked at time b-L. Both
+	// rngs make identical call sequences (one size-draw batch per index in
+	// order), so state only depends on how many batches were drawn.
+	peeked := make([][]int64, 0, batches)
+	for b := 0; b < L; b++ {
+		peeked = append(peeked, wl.GenBatchAt(peekR, b, size))
+	}
+	for b := 0; b < batches; b++ {
+		if b+L < batches {
+			peeked = append(peeked, wl.GenBatchAt(peekR, b+L, size))
+		}
+		served := wl.GenBatch(serveR, size)
+		if len(served) != size || len(peeked[b]) != size {
+			t.Fatalf("batch %d: sizes %d/%d", b, len(peeked[b]), len(served))
+		}
+		for i := range served {
+			if served[i] != peeked[b][i] {
+				boundary := ""
+				if b >= shiftAt && b-L < shiftAt {
+					boundary = " (across the flash-crowd rotation boundary)"
+				}
+				t.Fatalf("batch %d key %d: peeked %d, served %d%s",
+					b, i, peeked[b][i], served[i], boundary)
+			}
+		}
+	}
+	// Sanity: the rotation actually happened inside the replayed range, so
+	// the boundary case above was exercised rather than vacuously skipped.
+	preR, postR := rng.New(5), rng.New(5)
+	pre := wl.GenBatchAt(preR, shiftAt-1, size)
+	post := wl.GenBatchAt(postR, shiftAt, size)
+	same := true
+	for i := range pre {
+		if pre[i] != post[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("rotation boundary had no effect on the key mapping")
+	}
+}
