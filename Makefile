@@ -1,11 +1,11 @@
 GO ?= go
 
-RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline ./internal/milp ./internal/solver ./internal/workload ./internal/baselines
+RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline ./internal/milp ./internal/solver ./internal/workload ./internal/baselines ./internal/bench
 
 # Packages with testing.B microbenchmarks on the extraction hot path.
 BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve
 
-.PHONY: check build test vet fmt race bench bench-solver bench-drift bench-prefetch figures trace-smoke
+.PHONY: check build test vet fmt race bench bench-solver bench-drift bench-prefetch bench-serve figures trace-smoke
 
 check: fmt vet build test race
 
@@ -52,6 +52,12 @@ bench-drift:
 # checked-in BENCH_prefetch.json).
 bench-prefetch:
 	$(GO) run ./cmd/ugache-bench -exp prefetch -scale 0.25 -json-out BENCH_prefetch.json
+
+# Open-loop overload sweep: latency vs offered load past saturation with
+# bounded admission — knee, shed counts, and admitted-p99 per step
+# (regenerates the checked-in BENCH_serve.json).
+bench-serve:
+	$(GO) run ./cmd/ugache-bench -exp serve -scale 1 -json-out BENCH_serve.json
 
 # Regenerate the paper's tables and figures (minutes at full scale).
 figures:

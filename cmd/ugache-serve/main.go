@@ -5,14 +5,23 @@
 // request latency percentiles, and the simulated extraction times of the
 // coalesced batches.
 //
+// With -open-loop the closed-loop clients are replaced by rate-driven
+// dispatchers: arrivals are scheduled by -qps alone (Poisson or bursty
+// MMPP), never by completions, so the engine can be pushed past its
+// admission knee and the run reports sheds alongside the latency of
+// admitted requests (measured from intended arrival time).
+//
 // Usage:
 //
 //	ugache-serve -dataset SYN-A -clients 16 -requests 200
 //	ugache-serve -dataset CR -scale 0.1 -ratio 0.08 -max-wait 1ms
 //	ugache-serve -refresh -trace-out trace.json   # Perfetto-loadable spans
+//	ugache-serve -open-loop -qps 200000 -arrivals mmpp -duration 5s
+//	ugache-serve -open-loop -qps 300000 -admission 500us   # bounded wait
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -61,6 +70,14 @@ type options struct {
 	relgap     float64
 	lookahead  int
 	staleThr   int
+
+	openLoop   bool
+	qps        float64
+	arrivals   string
+	users      int64
+	duration   time.Duration
+	admission  string
+	queueDepth int
 }
 
 func main() {
@@ -87,6 +104,13 @@ func main() {
 	flag.Float64Var(&o.relgap, "relgap", 0, "relative optimality gap for optioned policies (0 proves optimality)")
 	flag.IntVar(&o.lookahead, "lookahead", 0, "lookahead prefetch depth L: clients announce request i+L before issuing request i (0 disables the prefetch pipeline)")
 	flag.IntVar(&o.staleThr, "stale-threshold", 0, "bounded-staleness window S in batches: staged rows from an outgoing placement snapshot stay servable up to S batches past their commit (0 = staged rows die with their snapshot)")
+	flag.BoolVar(&o.openLoop, "open-loop", false, "replace the closed-loop clients with open-loop dispatchers that offer load at -qps regardless of completions")
+	flag.Float64Var(&o.qps, "qps", 50_000, "open-loop offered request rate across all GPUs")
+	flag.StringVar(&o.arrivals, "arrivals", "poisson", "open-loop arrival process: poisson or mmpp (bursty)")
+	flag.Int64Var(&o.users, "users", 1_000_000, "open-loop simulated user population (per-user key affinity is hash-derived, so millions cost nothing)")
+	flag.DurationVar(&o.duration, "duration", 2*time.Second, "open-loop run length")
+	flag.StringVar(&o.admission, "admission", "fastfail", "admission policy when the per-GPU queue is full: fastfail (shed immediately with ErrOverload) or a wait bound like 500us (shed only after waiting that long for space)")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0, "per-GPU admission queue depth (0 = engine default 256)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -130,6 +154,13 @@ func run(o options) error {
 	// -refresh-mode post (and its -refresh shorthand) is a command-level
 	// policy: one refresh after the client loop. The in-loop policies
 	// (periodic, drift) are the controller's.
+	admitWait := time.Duration(0)
+	if !strings.EqualFold(o.admission, "fastfail") {
+		var err error
+		if admitWait, err = time.ParseDuration(o.admission); err != nil || admitWait <= 0 {
+			return fmt.Errorf("-admission: want fastfail or a positive wait bound like 500us, got %q", o.admission)
+		}
+	}
 	post := o.refresh || strings.EqualFold(o.mode, "post")
 	mode := core.RefreshOff
 	if !strings.EqualFold(o.mode, "post") {
@@ -231,6 +262,8 @@ func run(o options) error {
 		Timeline:     tl,
 		Lookahead:    o.lookahead,
 		StaleBatches: o.staleThr,
+		QueueDepth:   o.queueDepth,
+		AdmitWait:    admitWait,
 	})
 	if err != nil {
 		return err
@@ -308,6 +341,20 @@ func run(o options) error {
 			}
 		}()
 		fmt.Printf("telemetry:         http://%s/metrics (also /debug/trace, /debug/timeline, /healthz, /readyz)\n", ln.Addr())
+	}
+
+	if o.openLoop {
+		if err := runOpenLoop(o, srv, p, int64(n), reg, admitWait); err != nil {
+			return err
+		}
+		if post {
+			fmt.Println("note: -refresh post is a closed-loop report; skipped in open-loop mode")
+		}
+		if o.listen != "" {
+			fmt.Printf("\nrun complete; telemetry still live on %s — Ctrl-C to exit\n", o.listen)
+			select {} // the signal goroutine finalizes and exits the process
+		}
+		return nil
 	}
 
 	// Closed loop: each client issues its next request as soon as the
@@ -446,6 +493,171 @@ func run(o options) error {
 	return nil
 }
 
+// runOpenLoop drives the engine with rate-scheduled arrivals: one
+// dispatcher per GPU offers its share of -qps whether or not the server
+// keeps up, which is what exposes the admission knee — a closed loop slows
+// its own offer the moment the server saturates. Sheds (ErrOverload) are an
+// expected outcome and are reported, not treated as failures; latency of
+// admitted requests is measured from each request's intended arrival time,
+// so dispatcher lag cannot hide queueing delay (coordinated omission).
+func runOpenLoop(o options, srv *serve.Server, p *platform.Platform, numKeys int64, reg *telemetry.Registry, admitWait time.Duration) error {
+	arr, err := workload.ParseArrival(o.arrivals)
+	if err != nil {
+		return err
+	}
+	if o.qps <= 0 {
+		return fmt.Errorf("-open-loop needs -qps > 0, got %g", o.qps)
+	}
+
+	// One pending-queue entry per in-flight request. Each GPU has one
+	// dispatcher and its driver completes requests FIFO, so polling the head
+	// of the queue collects results without a goroutine per request.
+	type pending struct {
+		ch       <-chan serve.Result
+		intended time.Time
+	}
+	var (
+		mu         sync.Mutex
+		lats       []time.Duration
+		dispatched int64
+		served     int64
+		shed       int64
+		firstErr   error
+	)
+	fmt.Printf("\nopen loop:         %s arrivals at %.0f qps offered for %v (%d users, %d keys/request, admission %s)\n",
+		arr, o.qps, o.duration, o.users, o.batch, o.admission)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for d := 0; d < p.N; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			gen, err := workload.NewOpenLoop(workload.OpenLoopConfig{
+				QPS:            o.qps / float64(p.N),
+				Arrivals:       arr,
+				Users:          o.users,
+				NumKeys:        numKeys,
+				KeysPerRequest: o.batch,
+			}, o.seed+uint64(d)*7919)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			epoch := time.Now()
+			var q []pending
+			var nDisp, nServed, nShed int64
+			var myLats []time.Duration
+			collect := func(block bool) {
+				for len(q) > 0 {
+					if !block {
+						select {
+						case res := <-q[0].ch:
+							if res.Err == nil {
+								nServed++
+								myLats = append(myLats, time.Since(q[0].intended))
+							} else if errors.Is(res.Err, serve.ErrOverload) {
+								nShed++
+							} else {
+								mu.Lock()
+								if firstErr == nil {
+									firstErr = res.Err
+								}
+								mu.Unlock()
+							}
+							q = q[1:]
+							continue
+						default:
+						}
+						return
+					}
+					res := <-q[0].ch
+					if res.Err == nil {
+						nServed++
+						myLats = append(myLats, time.Since(q[0].intended))
+					} else if errors.Is(res.Err, serve.ErrOverload) {
+						nShed++
+					} else {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = res.Err
+						}
+						mu.Unlock()
+					}
+					q = q[1:]
+				}
+			}
+			var req workload.OpenLoopRequest
+			for {
+				gen.Next(&req)
+				if req.At >= o.duration {
+					break
+				}
+				intended := epoch.Add(req.At)
+				if wait := time.Until(intended); wait > 0 {
+					time.Sleep(wait)
+				}
+				keys := append([]int64(nil), req.Keys...)
+				q = append(q, pending{ch: srv.Handle(d, keys), intended: intended})
+				nDisp++
+				collect(false)
+			}
+			collect(true)
+			mu.Lock()
+			dispatched += nDisp
+			served += nServed
+			shed += nShed
+			lats = append(lats, myLats...)
+			mu.Unlock()
+		}(d)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	metric := func(name string) float64 { // exact name, or max over per-GPU expansions
+		var v float64
+		for _, s := range reg.Samples() {
+			if strings.HasPrefix(s.Name, name) && s.Value > v {
+				v = s.Value
+			}
+		}
+		return v
+	}
+	offered := float64(dispatched) / o.duration.Seconds()
+	shedPct := 0.0
+	if dispatched > 0 {
+		shedPct = 100 * float64(shed) / float64(dispatched)
+	}
+	fmt.Printf("offered:           %d requests, %.0f qps measured (target %.0f)\n", dispatched, offered, o.qps)
+	fmt.Printf("served:            %d requests, %.0f qps; shed %d (%.1f%%) via ErrOverload\n",
+		served, float64(served)/wall.Seconds(), shed, shedPct)
+	if admitWait > 0 {
+		fmt.Printf("admission:         bounded wait %v; %.0f requests admitted after waiting (serve_admit_wait_admitted_total)\n",
+			admitWait, metric("serve_admit_wait_admitted_total"))
+	} else {
+		fmt.Printf("admission:         fast-fail (queue full sheds immediately; serve_rejected_total %.0f)\n",
+			metric("serve_rejected_total"))
+	}
+	infCap, _ := srv.QueueCapacity()
+	fmt.Printf("queue:             peak depth %.0f of %d (serve_queue_depth_peak)\n",
+		metric("serve_queue_depth_peak"), infCap)
+	fmt.Printf("latency (from intended arrival): p50 %v  p99 %v  max %v\n", pct(0.50), pct(0.99), pct(1.0))
+	return nil
+}
+
 // writeTrace exports the recorder to path.
 func writeTrace(tl *timeline.Recorder, path string) error {
 	f, err := os.Create(path)
@@ -470,7 +682,11 @@ func printFinalSnapshot(reg *telemetry.Registry) {
 		switch {
 		case s.Name == "serve_requests_total" || s.Name == "serve_batches_total" ||
 			s.Name == "serve_unique_keys_total" || s.Name == "cache_refresh_total" ||
-			s.Name == "core_extract_total":
+			s.Name == "core_extract_total" || s.Name == "serve_rejected_total" ||
+			s.Name == "serve_rejected_background_total" ||
+			s.Name == "serve_admit_wait_admitted_total":
+			fmt.Printf("  %-42s %.0f\n", s.Name, s.Value)
+		case strings.HasPrefix(s.Name, "serve_queue_depth_peak") && s.Value > 0:
 			fmt.Printf("  %-42s %.0f\n", s.Name, s.Value)
 		case strings.HasPrefix(s.Name, "sim_link_peak_util") && s.Value > 0:
 			fmt.Printf("  %-42s %.3f\n", s.Name, s.Value)

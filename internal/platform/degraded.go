@@ -25,10 +25,12 @@ const PeerLinkEfficiency = 0.55
 // from raw PCIe inefficiency.
 const PeerPCIeEfficiency = 0.85
 
-// ensureDegraded lazily builds the degraded twin links (one per PCIe lane,
+// ensureDegraded builds the degraded twin links (one per PCIe lane,
 // NVLink pair, and NVSwitch port). HBM and host DRAM have no twins: on-die
 // memory systems handle random access, and the divergence penalty on the
-// per-core rate covers the residual cost.
+// per-core rate covers the residual cost. New calls this during
+// construction so a published platform is immutable; the lazy guard only
+// serves hand-built Platform literals in single-threaded tests.
 func (p *Platform) ensureDegraded() {
 	if p.pcieDeg != nil {
 		return

@@ -193,6 +193,10 @@ func New(cfg Config) (*Platform, error) {
 	default:
 		return nil, fmt.Errorf("platform: unknown kind %d", cfg.Kind)
 	}
+	// Build the degraded twins now so the platform (and its topology) is
+	// immutable once published — concurrent readers never race a lazy
+	// AddLink from the first unorganized-extraction path query.
+	p.ensureDegraded()
 	return p, nil
 }
 

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ugache/internal/core"
+	"ugache/internal/platform"
+	"ugache/internal/telemetry"
+)
+
+// parkWorker admits one request on GPU 0 and waits long enough for the
+// worker to pop it and park in the fill loop (MaxWait must be large and
+// MaxBatchKeys above the request's key count). While parked, the worker
+// consumes nothing, so direct ring pushes below stay queued — the white-box
+// setup the deterministic admission tests build on.
+func parkWorker(t *testing.T, srv *Server) <-chan Result {
+	t.Helper()
+	ch := srv.Handle(0, []int64{1, 2})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if inf, bg := srv.QueueDepths(0); inf == 0 && bg == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the parking request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// After the pop above the worker polls the ring once more before parking
+	// in its fill-loop select; give it a beat so direct pushes stay queued.
+	time.Sleep(20 * time.Millisecond)
+	return ch
+}
+
+// fillRing stuffs n requests straight into GPU 0's ring of the given class
+// without posting the wakeup token, so the parked worker does not drain
+// them. Returns their result channels.
+func fillRing(t *testing.T, srv *Server, n int, class Class) []<-chan Result {
+	t.Helper()
+	chans := make([]<-chan Result, n)
+	for i := 0; i < n; i++ {
+		out := make(chan Result, 1)
+		r := &request{keys: []int64{int64(i % 50)}, out: out, enqueued: time.Now(), class: class}
+		if !srv.queues[0].push(r) {
+			t.Fatalf("direct push %d failed below ring capacity", i)
+		}
+		chans[i] = out
+	}
+	return chans
+}
+
+func admissionSystem(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.Build(core.Config{
+		Platform:   platform.ServerA(),
+		Hotness:    testHotness(200, 1.1, 9),
+		EntryBytes: 32,
+		CacheRatio: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestAdmissionFastFail: with AdmitWait unset, a full inference ring sheds
+// immediately with ErrOverload, counts the shed, and later-drained requests
+// still complete.
+func TestAdmissionFastFail(t *testing.T) {
+	srv, err := New(admissionSystem(t), Config{
+		MaxBatchKeys: 1 << 20,
+		MaxWait:      time.Minute,
+		QueueDepth:   2,
+		TraceDepth:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := parkWorker(t, srv)
+	queued := fillRing(t, srv, 2, ClassInference)
+
+	res := <-srv.Handle(0, []int64{7})
+	if !errors.Is(res.Err, ErrOverload) {
+		t.Fatalf("full ring: got err %v, want ErrOverload", res.Err)
+	}
+	if got := srv.met.rejected.Value(); got != 1 {
+		t.Fatalf("serve_rejected_total = %d, want 1", got)
+	}
+	if inf, bg := srv.QueueDepths(0); inf != 2 || bg != 0 {
+		t.Fatalf("QueueDepths = (%d, %d), want (2, 0)", inf, bg)
+	}
+
+	srv.Close()
+	for i, ch := range append([]<-chan Result{parked}, queued...) {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				t.Fatalf("queued request %d failed after Close: %v", i, r.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("queued request %d stranded", i)
+		}
+	}
+}
+
+// TestAdmissionBackgroundShedsFirst: the background class rides its own
+// smaller ring — with it saturated, background sheds (and is counted in the
+// background-shed metric) while inference traffic still admits.
+func TestAdmissionBackgroundShedsFirst(t *testing.T) {
+	srv, err := New(admissionSystem(t), Config{
+		MaxBatchKeys:         1 << 20,
+		MaxWait:              time.Minute,
+		QueueDepth:           16,
+		BackgroundQueueDepth: 2,
+		TraceDepth:           -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := parkWorker(t, srv)
+	queued := fillRing(t, srv, 2, ClassBackground)
+
+	res := <-srv.HandleClass(0, []int64{7}, ClassBackground)
+	if !errors.Is(res.Err, ErrOverload) {
+		t.Fatalf("full background ring: got err %v, want ErrOverload", res.Err)
+	}
+	if got := srv.met.rejectedBackground.Value(); got != 1 {
+		t.Fatalf("serve_rejected_background_total = %d, want 1", got)
+	}
+	infCh := srv.Handle(0, []int64{8})
+	if got := srv.met.rejected.Value(); got != 1 {
+		t.Fatalf("inference admission shed while only background was full (rejected=%d)", got)
+	}
+
+	srv.Close()
+	for i, ch := range append([]<-chan Result{parked, infCh}, queued...) {
+		r := <-ch
+		if r.Err != nil {
+			t.Fatalf("request %d failed after Close: %v", i, r.Err)
+		}
+	}
+}
+
+// TestAdmitWaitAdmits: a bounded-wait admission parked on a full ring is
+// admitted once the worker's flushes free space, and the late admit is
+// counted.
+func TestAdmitWaitAdmits(t *testing.T) {
+	// MaxWait is the space-freeing clock here: long enough (vs parkWorker's
+	// 50ms settle) that the worker is still parked while the ring is filled,
+	// short enough that its flushes free space well before the 10s admission
+	// deadline.
+	srv, err := New(admissionSystem(t), Config{
+		MaxBatchKeys: 1 << 20,
+		MaxWait:      300 * time.Millisecond,
+		QueueDepth:   2,
+		AdmitWait:    10 * time.Second,
+		TraceDepth:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := parkWorker(t, srv)
+	queued := fillRing(t, srv, 2, ClassInference)
+
+	// Parks on the space signal until a MaxWait flush frees ring slots.
+	res := <-srv.Handle(0, []int64{9})
+	if res.Err != nil {
+		t.Fatalf("bounded-wait admission failed: %v", res.Err)
+	}
+	if got := srv.met.admitWaitAdmitted.Value(); got != 1 {
+		t.Fatalf("serve_admit_wait_admitted_total = %d, want 1", got)
+	}
+	if got := srv.met.rejected.Value(); got != 0 {
+		t.Fatalf("serve_rejected_total = %d, want 0", got)
+	}
+	srv.Close()
+	for _, ch := range append([]<-chan Result{parked}, queued...) {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("queued request failed: %v", r.Err)
+		}
+	}
+}
+
+// TestAdmitWaitExpires: with the worker parked (huge MaxWait) nothing frees
+// space, so a bounded wait sheds with ErrOverload once its deadline fires.
+func TestAdmitWaitExpires(t *testing.T) {
+	srv, err := New(admissionSystem(t), Config{
+		MaxBatchKeys: 1 << 20,
+		MaxWait:      time.Minute,
+		QueueDepth:   2,
+		AdmitWait:    50 * time.Millisecond,
+		TraceDepth:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := parkWorker(t, srv)
+	queued := fillRing(t, srv, 2, ClassInference)
+
+	start := time.Now()
+	res := <-srv.Handle(0, []int64{3})
+	if !errors.Is(res.Err, ErrOverload) {
+		t.Fatalf("expired bounded wait: got err %v, want ErrOverload", res.Err)
+	}
+	if waited := time.Since(start); waited < 40*time.Millisecond || waited > 5*time.Second {
+		t.Fatalf("bounded wait lasted %v, want ~50ms", waited)
+	}
+	srv.Close()
+	for _, ch := range append([]<-chan Result{parked}, queued...) {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("queued request failed: %v", r.Err)
+		}
+	}
+}
+
+// TestDrainCoalesces is the regression test for the one-batch-per-leftover
+// drain: requests still queued at Close must be coalesced up to MaxBatchKeys
+// per flush. 20 requests x 4 keys against MaxBatchKeys 16 must drain in
+// exactly ceil(80/16) = 5 batches, not 20.
+func TestDrainCoalesces(t *testing.T) {
+	srv, err := New(admissionSystem(t), Config{
+		MaxBatchKeys: 16,
+		QueueDepth:   32,
+		TraceDepth:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retire the live workers first so the rings below belong to the test.
+	srv.Close()
+
+	const reqs = 20
+	chans := make([]<-chan Result, reqs)
+	for i := 0; i < reqs; i++ {
+		out := make(chan Result, 1)
+		keys := []int64{int64(i), int64(i + 50), int64(i + 100), int64(i + 150)}
+		r := &request{keys: keys, out: out, enqueued: time.Now(), class: ClassInference}
+		if !srv.queues[0].push(r) {
+			t.Fatalf("push %d failed", i)
+		}
+		chans[i] = out
+	}
+	srv.drain(0, srv.queues[0], srv.newWorkerScratch(0))
+
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				t.Fatalf("drained request %d failed: %v", i, r.Err)
+			}
+		default:
+			t.Fatalf("drained request %d got no result", i)
+		}
+	}
+	st := srv.Stats()
+	if st.Batches != 5 {
+		t.Fatalf("drain flushed %d batches for %d requests, want 5 coalesced", st.Batches, reqs)
+	}
+	if got := srv.met.fill[telemetry.FillDrain].Value(); got != 5 {
+		t.Fatalf("serve_batch_fill_drain_total = %d, want 5", got)
+	}
+}
+
+// TestOverloadCloseFlood is the shutdown/overload interaction test: many
+// goroutines flood Handle against deliberately tiny queues while Close races
+// them, in both fast-fail and bounded-wait admission modes. No caller may be
+// stranded, Close must return promptly, and every accepted-before-Close
+// request must get a Result. Run with -race.
+func TestOverloadCloseFlood(t *testing.T) {
+	sys := admissionSystem(t)
+	for _, mode := range []struct {
+		name      string
+		admitWait time.Duration
+	}{
+		{"fast-fail", 0},
+		{"bounded-wait", 2 * time.Millisecond},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			for round := 0; round < 10; round++ {
+				srv, err := New(sys, Config{
+					MaxBatchKeys: 8,
+					MaxWait:      20 * time.Microsecond,
+					QueueDepth:   2,
+					AdmitWait:    mode.admitWait,
+					TraceDepth:   -1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				const clients = 8
+				const perClient = 50
+				var chans [clients * perClient]<-chan Result
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						<-start
+						for i := 0; i < perClient; i++ {
+							class := ClassInference
+							if i%4 == 3 {
+								class = ClassBackground
+							}
+							chans[c*perClient+i] = srv.HandleClass((c+i)%sys.P.N, []int64{int64(i % 200)}, class)
+						}
+					}(c)
+				}
+				closed := make(chan time.Duration, 1)
+				go func() {
+					<-start
+					time.Sleep(time.Duration(round*37) * time.Microsecond)
+					t0 := time.Now()
+					srv.Close()
+					closed <- time.Since(t0)
+				}()
+				close(start)
+				wg.Wait()
+				select {
+				case d := <-closed:
+					if d > 5*time.Second {
+						t.Fatalf("Close took %v under flood", d)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatal("Close stalled under flood")
+				}
+				deadline := time.After(10 * time.Second)
+				for i, ch := range chans {
+					select {
+					case res := <-ch:
+						if res.Err != nil && !errors.Is(res.Err, ErrClosed) && !errors.Is(res.Err, ErrOverload) {
+							t.Fatalf("round %d request %d: unexpected error %v", round, i, res.Err)
+						}
+					case <-deadline:
+						t.Fatalf("round %d: request %d stranded", round, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWindowPoolable pins the prefetch pool's retention bound.
+func TestWindowPoolable(t *testing.T) {
+	const mbk = 1024
+	if !windowPoolable(0, mbk) || !windowPoolable(mbk, mbk) || !windowPoolable(windowPoolMult*mbk, mbk) {
+		t.Fatal("windowPoolable rejected a window within the retention bound")
+	}
+	if windowPoolable(windowPoolMult*mbk+1, mbk) {
+		t.Fatal("windowPoolable retained an oversized window")
+	}
+}

@@ -16,7 +16,8 @@ import (
 // check could win the enqueue select after the worker's final drain and
 // strand its caller forever. Hammer Handle from many goroutines while Close
 // runs concurrently, and require that every issued request receives a
-// Result — success or ErrClosed — within a bounded wait. Run with -race.
+// Result — success, ErrClosed, or (with the tiny queue here saturated)
+// ErrOverload — within a bounded wait. Run with -race.
 func TestCloseHandleRace(t *testing.T) {
 	sys, err := core.Build(core.Config{
 		Platform:   platform.ServerA(),
@@ -71,7 +72,7 @@ func TestCloseHandleRace(t *testing.T) {
 		for i, ch := range chans {
 			select {
 			case res := <-ch:
-				if res.Err != nil && !errors.Is(res.Err, ErrClosed) {
+				if res.Err != nil && !errors.Is(res.Err, ErrClosed) && !errors.Is(res.Err, ErrOverload) {
 					t.Fatalf("round %d request %d: unexpected error %v", round, i, res.Err)
 				}
 			case <-deadline:

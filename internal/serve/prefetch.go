@@ -1,7 +1,7 @@
 package serve
 
 import (
-	"time"
+	"sync"
 
 	"ugache/internal/cache"
 	"ugache/internal/core"
@@ -15,6 +15,63 @@ import (
 // announce path allocates only on depth growth.
 type prefetchWindow struct {
 	keys []int64
+}
+
+// windowPoolMult bounds the key capacity a recycled window may pin in the
+// pool, as a multiple of MaxBatchKeys. A single oversized announce would
+// otherwise keep its whole backing array alive for the server's lifetime —
+// sync.Pool has no size discipline of its own.
+const windowPoolMult = 4
+
+// putWindow recycles one window, dropping it (for the GC) when its capacity
+// exceeds the pool's retention bound.
+func (s *Server) putWindow(w *prefetchWindow) {
+	if !windowPoolable(cap(w.keys), s.cfg.MaxBatchKeys) {
+		return
+	}
+	w.keys = w.keys[:0]
+	s.windowPool.Put(w)
+}
+
+// windowPoolable reports whether a window with the given key capacity may
+// return to the announce pool.
+func windowPoolable(capKeys, maxBatchKeys int) bool {
+	return capKeys <= windowPoolMult*maxBatchKeys
+}
+
+// pendingGate tracks one GPU's in-flight announced windows and lets
+// WaitPrefetch block on their completion through a condition variable —
+// the prefetch worker broadcasts when the count returns to zero, so waiters
+// sleep instead of burning a core in a sleep-poll loop.
+type pendingGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int64
+}
+
+func newPendingGate() *pendingGate {
+	g := &pendingGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// add moves the in-flight count by d, waking waiters when it reaches zero.
+func (g *pendingGate) add(d int64) {
+	g.mu.Lock()
+	g.n += d
+	if g.n <= 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// wait blocks until the in-flight count is zero.
+func (g *pendingGate) wait() {
+	g.mu.Lock()
+	for g.n > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
 }
 
 // Prefetch announces the keys of an upcoming batch on GPU gpu so the
@@ -36,14 +93,13 @@ func (s *Server) Prefetch(gpu int, keys []int64) bool {
 	}
 	w := s.windowPool.Get().(*prefetchWindow)
 	w.keys = append(w.keys[:0], keys...)
-	s.prefetchPending[gpu].Add(1)
+	s.prefetchGate[gpu].add(1)
 	select {
 	case s.prefetchQ[gpu] <- w:
 		return true
 	default:
-		s.prefetchPending[gpu].Add(-1)
-		w.keys = w.keys[:0]
-		s.windowPool.Put(w)
+		s.prefetchGate[gpu].add(-1)
+		s.putWindow(w)
 		s.met.prefetchDropped.Add(gpu, 1)
 		return false
 	}
@@ -52,14 +108,14 @@ func (s *Server) Prefetch(gpu int, keys []int64) bool {
 // WaitPrefetch blocks until GPU gpu's prefetch worker has fully staged (or
 // dropped) every window announced so far — the deterministic
 // perfect-overlap sync point the bench and tests use. Serving itself never
-// calls this: a flush consumes whatever happens to be staged.
+// calls this: a flush consumes whatever happens to be staged. Waiters sleep
+// on the gate's condition variable until the worker drains the count to
+// zero; there is no polling.
 func (s *Server) WaitPrefetch(gpu int) {
-	if s.prefetchPending == nil || gpu < 0 || gpu >= len(s.prefetchPending) {
+	if s.prefetchGate == nil || gpu < 0 || gpu >= len(s.prefetchGate) {
 		return
 	}
-	for s.prefetchPending[gpu].Load() > 0 {
-		time.Sleep(20 * time.Microsecond)
-	}
+	s.prefetchGate[gpu].wait()
 }
 
 // StagingArena exposes GPU gpu's staging arena (nil when lookahead is
@@ -116,9 +172,8 @@ func (s *Server) prefetchWorker(g int) {
 			for {
 				select {
 				case w := <-q:
-					s.prefetchPending[g].Add(-1)
-					w.keys = w.keys[:0]
-					s.windowPool.Put(w)
+					s.prefetchGate[g].add(-1)
+					s.putWindow(w)
 				default:
 					return
 				}
@@ -134,9 +189,8 @@ func (s *Server) prefetchWorker(g int) {
 // committed under the placement version the rows were gathered against.
 func (s *Server) prefetchWindow(g int, w *prefetchWindow, sc *prefetchScratch) {
 	defer func() {
-		s.prefetchPending[g].Add(-1)
-		w.keys = w.keys[:0]
-		s.windowPool.Put(w)
+		s.prefetchGate[g].add(-1)
+		s.putWindow(w)
 	}()
 	var tStart, tFilter, tExtract float64
 	if sc.span != nil {

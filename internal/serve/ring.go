@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"sync/atomic"
+)
+
+// mpscRing is a bounded multi-producer single-consumer request queue — the
+// admission core that replaced the raw per-GPU channels. Producers (Handle
+// callers) reserve slots with a CAS on the enqueue ticket and never block: a
+// full ring fails the push immediately, which is what turns overload into an
+// explicit shed decision instead of an unbounded caller park (DESIGN.md
+// §6.7). The single consumer is GPU g's worker goroutine.
+//
+// The layout is the classic sequence-stamped bounded queue (Vyukov): each
+// cell carries a sequence number that encodes whether it is free for the
+// producer lap or holds a value for the consumer lap, so push and pop
+// synchronize cell-by-cell through one atomic each and neither side ever
+// takes a lock.
+type mpscRing struct {
+	mask  uint64
+	cells []ringCell
+	enq   atomic.Uint64 // next producer ticket
+	deq   atomic.Uint64 // consumer position (written by the worker only)
+}
+
+// ringCell is one slot. seq == index means free for the producer whose
+// ticket is index; seq == index+1 means the value is visible to the
+// consumer; seq == index+capacity means consumed and free for the next lap.
+type ringCell struct {
+	seq atomic.Uint64
+	req *request
+	// Pad to a cache line so neighbouring cells do not false-share under
+	// producer contention (16 bytes of payload above).
+	_ [48]byte
+}
+
+// newRing builds a ring with capacity rounded up to a power of two (minimum
+// 2, so mask arithmetic always works).
+func newRing(capacity int) *mpscRing {
+	c := uint64(2)
+	for int(c) < capacity {
+		c <<= 1
+	}
+	r := &mpscRing{mask: c - 1, cells: make([]ringCell, c)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// cap returns the ring's (rounded) capacity.
+func (r *mpscRing) capacity() int { return len(r.cells) }
+
+// push attempts to enqueue without blocking. Returns false when the ring is
+// full — the caller decides whether that is a shed or a bounded wait.
+func (r *mpscRing) push(req *request) bool {
+	pos := r.enq.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				cell.req = req
+				cell.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			// The cell still holds an unconsumed value from the previous
+			// lap: the ring is full.
+			return false
+		default:
+			// Another producer claimed this ticket; chase the new tail.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop dequeues one request, or nil when the ring is empty. Must only be
+// called by the single consumer goroutine.
+func (r *mpscRing) pop() *request {
+	pos := r.deq.Load()
+	cell := &r.cells[pos&r.mask]
+	if cell.seq.Load() != pos+1 {
+		return nil
+	}
+	req := cell.req
+	cell.req = nil
+	cell.seq.Store(pos + uint64(len(r.cells)))
+	r.deq.Store(pos + 1)
+	return req
+}
+
+// depth is the approximate number of queued requests (exact when quiescent;
+// a racy-but-monotonic estimate while producers are active — fine for
+// gauges and overload counters).
+func (r *mpscRing) depth() int {
+	d := int64(r.enq.Load()) - int64(r.deq.Load())
+	if d < 0 {
+		return 0
+	}
+	return int(d)
+}
+
+// Class is a request's admission class. Inference traffic outranks
+// background work (refresh-driven re-warms, speculative lookups) twice
+// over: background rides a smaller ring, so it sheds earlier as pressure
+// builds, and the worker drains the inference ring first, so background
+// never delays a batch that inference traffic is waiting on.
+type Class uint8
+
+const (
+	// ClassInference is latency-sensitive foreground traffic (the default
+	// for Handle/Lookup).
+	ClassInference Class = iota
+	// ClassBackground is sheddable maintenance traffic: it is admitted only
+	// into the smaller low-priority ring and served when no inference
+	// request is pending.
+	ClassBackground
+)
+
+// String names the class for logs and reports.
+func (c Class) String() string {
+	if c == ClassBackground {
+		return "background"
+	}
+	return "inference"
+}
+
+// gpuQueue is one GPU's admission state: the two priority rings plus the
+// worker-wakeup and space-freed notification channels. Both channels are
+// buffered(1) token slots — a producer's failed non-blocking send means a
+// token is already pending, and the receiver re-checks the rings after every
+// token, so wakeups are never lost (see the worker loop).
+type gpuQueue struct {
+	high   *mpscRing // ClassInference
+	low    *mpscRing // ClassBackground
+	notify chan struct{}
+	space  chan struct{}
+}
+
+func newGPUQueue(highDepth, lowDepth int) *gpuQueue {
+	return &gpuQueue{
+		high:   newRing(highDepth),
+		low:    newRing(lowDepth),
+		notify: make(chan struct{}, 1),
+		space:  make(chan struct{}, 1),
+	}
+}
+
+// push admits one request into its class ring. Never blocks.
+func (q *gpuQueue) push(r *request) bool {
+	if r.class == ClassBackground {
+		return q.low.push(r)
+	}
+	return q.high.push(r)
+}
+
+// pop dequeues the next request, inference first. Consumer-only.
+func (q *gpuQueue) pop() *request {
+	if r := q.high.pop(); r != nil {
+		return r
+	}
+	return q.low.pop()
+}
+
+// depth is the combined queued-request estimate across both classes.
+func (q *gpuQueue) depth() int { return q.high.depth() + q.low.depth() }
+
+// wake posts the worker-wakeup token (no-op if one is already pending).
+func (q *gpuQueue) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// freed posts the space-freed token bounded-wait admitters sleep on.
+func (q *gpuQueue) freed() {
+	select {
+	case q.space <- struct{}{}:
+	default:
+	}
+}

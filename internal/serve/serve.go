@@ -39,6 +39,14 @@ import (
 // server.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrOverload is returned by requests the admission controller sheds: the
+// destination GPU's queue was full and either the server runs fast-fail
+// admission (Config.AdmitWait == 0) or the bounded wait expired without
+// space freeing up. Overload is a first-class serving state, not a fault —
+// callers are expected to retry with backoff, degrade, or drop, and the
+// shed is counted in serve_rejected_total.
+var ErrOverload = errors.New("serve: overloaded, request shed")
+
 // Config tunes the coalescer.
 type Config struct {
 	// MaxBatchKeys flushes a batch once this many (non-deduplicated) keys
@@ -47,8 +55,21 @@ type Config struct {
 	// MaxWait flushes a non-empty batch after this long even if it is not
 	// full (default 2ms) — the latency/throughput knob.
 	MaxWait time.Duration
-	// QueueDepth is the per-GPU request queue buffer (default 256).
+	// QueueDepth bounds the per-GPU inference admission ring (default 256,
+	// rounded up to a power of two). A full ring sheds instead of blocking:
+	// see AdmitWait.
 	QueueDepth int
+	// BackgroundQueueDepth bounds the per-GPU background (ClassBackground)
+	// ring (default QueueDepth/4, min 4). Background work rides a smaller
+	// ring so it sheds before inference traffic as pressure builds.
+	BackgroundQueueDepth int
+	// AdmitWait bounds how long an admission may wait for queue space before
+	// shedding with ErrOverload. 0 (the default) is fast-fail admission: a
+	// full ring sheds immediately. A positive value lets Handle park — off
+	// the worker's critical path and outside any lock — until space frees or
+	// the deadline expires, trading a little latency for fewer sheds near
+	// the saturation knee.
+	AdmitWait time.Duration
 
 	// Lookahead enables the prefetch pipeline: L is how many batches ahead
 	// clients announce upcoming keys via Prefetch, and sizes the per-GPU
@@ -104,6 +125,15 @@ func (c Config) normalize() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.BackgroundQueueDepth <= 0 {
+		c.BackgroundQueueDepth = c.QueueDepth / 4
+		if c.BackgroundQueueDepth < 4 {
+			c.BackgroundQueueDepth = 4
+		}
+	}
+	if c.AdmitWait < 0 {
+		c.AdmitWait = 0
 	}
 	if c.TraceDepth == 0 {
 		c.TraceDepth = 256
@@ -166,6 +196,7 @@ type request struct {
 	keys     []int64
 	out      chan Result
 	enqueued time.Time
+	class    Class
 }
 
 // metrics is the serve-layer metric bundle; see DESIGN.md §6.2 for the
@@ -179,6 +210,16 @@ type metrics struct {
 	fill          [3]*telemetry.Counter // indexed by telemetry.FillReason
 	latency       *telemetry.Histogram
 	queueWait     *telemetry.Histogram
+
+	// Admission-control observability (DESIGN.md §6.7): requests shed by
+	// the bounded rings, the background-class subset, requests that were
+	// admitted only after a bounded wait, and the last/peak combined queue
+	// depth a worker observed at batch formation.
+	rejected           *telemetry.Counter
+	rejectedBackground *telemetry.Counter
+	admitWaitAdmitted  *telemetry.Counter
+	queueDepth         *telemetry.Gauge
+	queueDepthPeak     *telemetry.Gauge
 
 	// Fill-source split: every unique key a flush resolves is either a
 	// prefetch hit (served from the staging arena) or a demand miss (paid
@@ -219,6 +260,12 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		latency:   reg.Histogram("serve_request_latency_seconds", "request latency from enqueue to reply", latencyBuckets),
 		queueWait: reg.Histogram("serve_queue_wait_seconds", "queue wait of a batch's first request", latencyBuckets),
 
+		rejected:           reg.Counter("serve_rejected_total", "requests shed by bounded admission (fast-fail or expired bounded wait)"),
+		rejectedBackground: reg.Counter("serve_rejected_background_total", "background-class requests shed by bounded admission"),
+		admitWaitAdmitted:  reg.Counter("serve_admit_wait_admitted_total", "requests admitted after a bounded wait on a full queue"),
+		queueDepth:         reg.Gauge("serve_queue_depth_last", "combined queued requests observed at the last batch formation"),
+		queueDepthPeak:     reg.Gauge("serve_queue_depth_peak", "peak combined queued requests observed at any batch formation"),
+
 		fillPrefetchHit: reg.Counter("serve_fill_prefetch_hit", "unique keys served from the lookahead staging arena"),
 		fillDemandMiss:  reg.Counter("serve_fill_demand_miss", "unique keys paid for by the batch's own demand extraction"),
 
@@ -240,16 +287,24 @@ type Server struct {
 	entryBytes int
 	functional bool
 
-	queues []chan *request
+	queues []*gpuQueue
 	done   chan struct{}
 	wg     sync.WaitGroup
 
-	// closeMu fences Handle against Close (the two-phase shutdown): Handle
-	// enqueues under the read lock after checking closed; Close sets closed
-	// under the write lock before closing done. Taking the write lock
-	// therefore excludes every in-flight Handle, so once done is closed no
-	// further request can appear and the workers' final drain provably
-	// empties the queues.
+	// Per-GPU overload accounting feeding the timeline overload track: sheds
+	// since start, and the peak combined ring depth a worker observed.
+	shed      []atomic.Int64
+	peakDepth []atomic.Int64
+
+	// closeMu fences admission against Close (the two-phase shutdown): an
+	// admission pushes under the read lock after checking closed; Close sets
+	// closed under the write lock before closing done. Pushes never block
+	// (bounded rings fail fast), so the write lock is only ever a few
+	// instructions away — Close cannot stall behind parked callers. Taking
+	// the write lock excludes every in-flight push, so once done is closed
+	// no further request can appear and the workers' final drain provably
+	// empties the rings. Bounded waits park outside the lock and re-enter
+	// it per attempt.
 	closeMu sync.RWMutex
 	closed  bool
 
@@ -266,11 +321,11 @@ type Server struct {
 	// Lookahead prefetch pipeline (nil/empty when Config.Lookahead == 0).
 	// batchSeq[g] counts GPU g's flushed batches; it is the logical clock
 	// the staging arena's bounded-staleness contract is measured in.
-	staging         []*cache.StagingArena
-	prefetchQ       []chan *prefetchWindow
-	prefetchPending []atomic.Int64
-	batchSeq        []atomic.Int64
-	windowPool      sync.Pool
+	staging      []*cache.StagingArena
+	prefetchQ    []chan *prefetchWindow
+	prefetchGate []*pendingGate
+	batchSeq     []atomic.Int64
+	windowPool   sync.Pool
 }
 
 // New starts the serving engine for a built system.
@@ -288,7 +343,9 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		cfg:        cfg,
 		entryBytes: sys.Cache.EntryBytes,
 		functional: sys.Functional(),
-		queues:     make([]chan *request, sys.P.N),
+		queues:     make([]*gpuQueue, sys.P.N),
+		shed:       make([]atomic.Int64, sys.P.N),
+		peakDepth:  make([]atomic.Int64, sys.P.N),
 		done:       make(chan struct{}),
 		tel:        reg,
 		met:        newMetrics(reg),
@@ -314,12 +371,19 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 			s.tl.SetThreadName(timeline.ProcSim, int32(l), link.Name)
 			s.linkCap[l] = link.Capacity
 		}
+		s.tl.SetProcessName(timeline.ProcOverload, "overload")
+		for g := 0; g < sys.P.N; g++ {
+			s.tl.SetThreadName(timeline.ProcOverload, int32(g), fmt.Sprintf("gpu %d admission", g))
+		}
 	}
 	if cfg.Lookahead > 0 {
 		n := sys.P.N
 		s.staging = make([]*cache.StagingArena, n)
 		s.prefetchQ = make([]chan *prefetchWindow, n)
-		s.prefetchPending = make([]atomic.Int64, n)
+		s.prefetchGate = make([]*pendingGate, n)
+		for g := 0; g < n; g++ {
+			s.prefetchGate[g] = newPendingGate()
+		}
 		s.batchSeq = make([]atomic.Int64, n)
 		s.windowPool.New = func() any { return &prefetchWindow{} }
 		depth := 2 * cfg.Lookahead
@@ -342,7 +406,7 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		}
 	}
 	for g := range s.queues {
-		s.queues[g] = make(chan *request, s.cfg.QueueDepth)
+		s.queues[g] = newGPUQueue(s.cfg.QueueDepth, s.cfg.BackgroundQueueDepth)
 		s.wg.Add(1)
 		go s.worker(g)
 	}
@@ -362,12 +426,21 @@ func (s *Server) Metrics() *telemetry.Registry { return s.tel }
 // Trace returns the per-batch trace ring, or nil when tracing is disabled.
 func (s *Server) Trace() *telemetry.TraceRing { return s.ring }
 
-// Handle enqueues one request for GPU gpu and returns the channel its
-// Result will arrive on (buffered; the caller need not be ready). The keys
-// slice is not retained past completion but must not be mutated until the
-// result arrives. Every request accepted before Close returns is guaranteed
-// a Result; requests racing Close get ErrClosed.
+// Handle enqueues one inference-class request for GPU gpu and returns the
+// channel its Result will arrive on (buffered; the caller need not be
+// ready). The keys slice is not retained past completion but must not be
+// mutated until the result arrives. Admission is bounded: a full queue
+// sheds with ErrOverload (after Config.AdmitWait, when set) instead of
+// blocking the caller. Every request admitted before Close returns is
+// guaranteed a Result; requests racing Close get ErrClosed.
 func (s *Server) Handle(gpu int, keys []int64) <-chan Result {
+	return s.HandleClass(gpu, keys, ClassInference)
+}
+
+// HandleClass is Handle with an explicit admission class. ClassBackground
+// requests ride the smaller low-priority ring: they shed earlier under
+// pressure and are only served when no inference request is pending.
+func (s *Server) HandleClass(gpu int, keys []int64, class Class) <-chan Result {
 	out := make(chan Result, 1)
 	if gpu < 0 || gpu >= len(s.queues) {
 		out <- Result{Err: fmt.Errorf("serve: bad gpu %d", gpu)}
@@ -377,18 +450,71 @@ func (s *Server) Handle(gpu int, keys []int64) <-chan Result {
 		out <- Result{}
 		return out
 	}
+	r := &request{keys: keys, out: out, enqueued: time.Now(), class: class}
+	if err := s.admit(gpu, r); err != nil {
+		out <- Result{Err: err}
+	}
+	return out
+}
+
+// admit pushes one request through the bounded admission path: a lock-free
+// ring push under the close fence, then — when Config.AdmitWait allows — a
+// deadline-bounded park on the space-freed signal with a retry per wakeup.
+// Returns nil once the request is queued, ErrOverload on a shed, ErrClosed
+// when the server shut down first.
+func (s *Server) admit(gpu int, r *request) error {
+	q := s.queues[gpu]
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
-		out <- Result{Err: ErrClosed}
-		return out
+		return ErrClosed
 	}
-	r := &request{keys: keys, out: out, enqueued: time.Now()}
-	// The send may block on a full queue; the workers are guaranteed alive
-	// until Close takes the write lock, which waits for this read lock.
-	s.queues[gpu] <- r
+	ok := q.push(r)
 	s.closeMu.RUnlock()
-	return out
+	if ok {
+		q.wake()
+		return nil
+	}
+	if s.cfg.AdmitWait <= 0 {
+		return s.reject(gpu, r.class)
+	}
+	// Bounded wait: park outside the close fence so Close never stalls
+	// behind waiters, re-attempt the push on every space signal, and shed
+	// when the deadline fires. The timer allocation is fine — this is the
+	// overload slow path by definition.
+	timer := time.NewTimer(s.cfg.AdmitWait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-q.space:
+		case <-timer.C:
+			return s.reject(gpu, r.class)
+		case <-s.done:
+			return ErrClosed
+		}
+		s.closeMu.RLock()
+		if s.closed {
+			s.closeMu.RUnlock()
+			return ErrClosed
+		}
+		ok := q.push(r)
+		s.closeMu.RUnlock()
+		if ok {
+			q.wake()
+			s.met.admitWaitAdmitted.Add(gpu, 1)
+			return nil
+		}
+	}
+}
+
+// reject records one shed and returns ErrOverload.
+func (s *Server) reject(gpu int, class Class) error {
+	s.met.rejected.Add(gpu, 1)
+	if class == ClassBackground {
+		s.met.rejectedBackground.Add(gpu, 1)
+	}
+	s.shed[gpu].Add(1)
+	return ErrOverload
 }
 
 // Lookup is the synchronous form of Handle.
@@ -397,10 +523,29 @@ func (s *Server) Lookup(gpu int, keys []int64) (Result, error) {
 	return res, res.Err
 }
 
+// QueueDepths returns GPU gpu's current (approximate) queued-request counts
+// for the inference and background rings — a diagnostics/backpressure probe,
+// not a synchronization primitive.
+func (s *Server) QueueDepths(gpu int) (inference, background int) {
+	if gpu < 0 || gpu >= len(s.queues) {
+		return 0, 0
+	}
+	return s.queues[gpu].high.depth(), s.queues[gpu].low.depth()
+}
+
+// QueueCapacity returns the per-GPU admission ring capacities (inference
+// and background) after defaulting and power-of-two rounding — what load
+// drivers should report peak depths against.
+func (s *Server) QueueCapacity() (inference, background int) {
+	return s.queues[0].high.capacity(), s.queues[0].low.capacity()
+}
+
 // Close stops accepting requests, flushes everything already queued, and
 // waits for the workers to exit. Safe to call more than once; concurrent
-// Handle calls either complete normally or observe ErrClosed — none are
-// stranded.
+// Handle calls either complete normally or observe ErrClosed/ErrOverload —
+// none are stranded, and because admission never blocks inside the close
+// fence (bounded waits park outside it and watch done), Close cannot stall
+// behind a saturated queue.
 func (s *Server) Close() {
 	s.closeMu.Lock()
 	if s.closed {
@@ -442,6 +587,12 @@ type workerScratch struct {
 	seq   int64 // batches flushed by this worker (trace sampling)
 	span  *timeline.Shard
 
+	// reqs is the reusable batch-formation slice (the worker and the drain
+	// rebuild it in place every batch) and lastShed the shed count already
+	// rendered on the overload track.
+	reqs     []*request
+	lastShed int64
+
 	// Staging-consume buffers, used only when the prefetch pipeline is on:
 	// the per-unique-key hit mask, the residual demand keys with their
 	// positions in uniq, the staged-hit key list for the extraction's
@@ -472,7 +623,11 @@ func (s *Server) newWorkerScratch(g int) *workerScratch {
 }
 
 // worker is GPU g's coalescing loop: wait for one request, then keep
-// accumulating until the batch is full or MaxWait elapsed, then flush.
+// accumulating until the batch is full or MaxWait elapsed, then flush. The
+// rings are polled directly; when both are empty the worker parks on the
+// queue's wakeup token (producers post it after every successful push, and
+// the worker re-checks the rings after every token, so a wakeup is never
+// lost — see gpuQueue).
 func (s *Server) worker(g int) {
 	defer s.wg.Done()
 	q := s.queues[g]
@@ -480,15 +635,18 @@ func (s *Server) worker(g int) {
 	timer := time.NewTimer(s.cfg.MaxWait)
 	defer timer.Stop()
 	for {
-		var first *request
-		select {
-		case first = <-q:
-		case <-s.done:
-			s.drain(g, q, sc)
-			return
+		first := q.pop()
+		if first == nil {
+			select {
+			case <-q.notify:
+				continue
+			case <-s.done:
+				s.drain(g, q, sc)
+				return
+			}
 		}
 		queueWait := time.Since(first.enqueued)
-		batch := []*request{first}
+		batch := append(sc.reqs[:0], first)
 		pending := len(first.keys)
 		reason := telemetry.FillFull
 		if !timer.Stop() {
@@ -500,10 +658,13 @@ func (s *Server) worker(g int) {
 		timer.Reset(s.cfg.MaxWait)
 	fill:
 		for pending < s.cfg.MaxBatchKeys {
-			select {
-			case r := <-q:
+			if r := q.pop(); r != nil {
 				batch = append(batch, r)
 				pending += len(r.keys)
+				continue
+			}
+			select {
+			case <-q.notify:
 			case <-timer.C:
 				reason = telemetry.FillTimer
 				break fill
@@ -512,22 +673,79 @@ func (s *Server) worker(g int) {
 				break fill
 			}
 		}
+		sc.reqs = batch
+		s.observeQueue(g, q, sc)
 		s.flush(g, batch, sc, reason, queueWait)
+		// The batch formation freed ring space: wake one bounded-wait
+		// admitter, if any are parked.
+		q.freed()
 	}
 }
 
-// drain flushes whatever is still queued at Close time so no Handle caller
-// is left waiting. It runs after close(s.done), by which point Close's
-// write lock has excluded every producer, so an empty poll really means
-// the queue is empty for good.
-func (s *Server) drain(g int, q chan *request, sc *workerScratch) {
+// observeQueue publishes the admission-side backpressure signals at batch
+// formation: the queue-depth gauges, the peak tracker, and — when a span
+// recorder is wired — the overload track's counter series (queued depth and
+// cumulative sheds per GPU), so saturation is visible in Perfetto alongside
+// the batch span trees.
+func (s *Server) observeQueue(g int, q *gpuQueue, sc *workerScratch) {
+	depth := q.depth()
+	s.met.queueDepth.Set(float64(depth))
+	if peak := s.peakDepth[g].Load(); int64(depth) > peak {
+		s.peakDepth[g].Store(int64(depth))
+		max := int64(depth)
+		for i := range s.peakDepth {
+			if v := s.peakDepth[i].Load(); v > max {
+				max = v
+			}
+		}
+		s.met.queueDepthPeak.Set(float64(max))
+	}
+	if sc.span == nil {
+		return
+	}
+	now := s.tl.Now()
+	ev := timeline.Event{Name: "queue_depth", Cat: "overload", Ph: timeline.PhCounter,
+		PID: timeline.ProcOverload, TID: int32(g), Start: now}
+	ev.AddArg("requests", float64(depth))
+	sc.span.Emit(&ev)
+	shed := s.shed[g].Load()
+	ev2 := timeline.Event{Name: "shed_total", Cat: "overload", Ph: timeline.PhCounter,
+		PID: timeline.ProcOverload, TID: int32(g), Start: now}
+	ev2.AddArg("requests", float64(shed))
+	sc.span.Emit(&ev2)
+	if shed > sc.lastShed {
+		inst := timeline.Event{Name: "overload-shed", Cat: "overload", Ph: timeline.PhInstant,
+			PID: timeline.ProcOverload, TID: int32(g), Start: now}
+		inst.AddArg("new_sheds", float64(shed-sc.lastShed))
+		sc.span.Emit(&inst)
+		sc.lastShed = shed
+	}
+}
+
+// drain flushes whatever is still queued at Close time so no admitted
+// caller is left waiting. It runs after close(s.done), by which point
+// Close's write lock has excluded every producer, so an empty poll really
+// means the rings are empty for good. Leftovers are coalesced up to
+// MaxBatchKeys per flush — a Close under backlog runs O(backlog/batch)
+// extractions, not one per request.
+func (s *Server) drain(g int, q *gpuQueue, sc *workerScratch) {
 	for {
-		select {
-		case r := <-q:
-			s.flush(g, []*request{r}, sc, telemetry.FillDrain, time.Since(r.enqueued))
-		default:
+		first := q.pop()
+		if first == nil {
 			return
 		}
+		batch := append(sc.reqs[:0], first)
+		pending := len(first.keys)
+		for pending < s.cfg.MaxBatchKeys {
+			r := q.pop()
+			if r == nil {
+				break
+			}
+			batch = append(batch, r)
+			pending += len(r.keys)
+		}
+		sc.reqs = batch
+		s.flush(g, batch, sc, telemetry.FillDrain, time.Since(first.enqueued))
 	}
 }
 

@@ -38,6 +38,11 @@ const (
 	// the prefetch/extraction overlap directly visible against the ProcServe
 	// batch trees in Perfetto.
 	ProcPrefetch = 4
+	// ProcOverload holds the admission-control track, one tid per GPU:
+	// queue-depth and cumulative-shed counter series sampled at every batch
+	// formation, plus shed instants, so the onset of overload lines up
+	// visually with the serve batch trees it throttles.
+	ProcOverload = 5
 )
 
 // Conventional ProcControl thread IDs.

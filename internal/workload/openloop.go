@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"ugache/internal/rng"
+)
+
+// Arrival selects the arrival process of an open-loop stream.
+type Arrival int
+
+const (
+	// Poisson arrivals: exponential inter-arrival times at the offered
+	// rate — the memoryless baseline every queueing result is stated in.
+	Poisson Arrival = iota
+	// MMPP arrivals: a 2-state Markov-modulated Poisson process that
+	// alternates between a quiet state and a burst state with exponential
+	// sojourns. Same long-run offered rate as Poisson, far burstier — the
+	// arrival pattern that actually finds a serving system's knee.
+	MMPP
+)
+
+// String names the arrival process for flags and reports.
+func (a Arrival) String() string {
+	if a == MMPP {
+		return "mmpp"
+	}
+	return "poisson"
+}
+
+// ParseArrival parses a flag value ("poisson" or "mmpp").
+func ParseArrival(s string) (Arrival, error) {
+	switch s {
+	case "poisson":
+		return Poisson, nil
+	case "mmpp":
+		return MMPP, nil
+	}
+	return 0, fmt.Errorf("workload: unknown arrival process %q (want poisson or mmpp)", s)
+}
+
+// OpenLoopConfig parameterizes an open-loop request stream: arrivals are
+// scheduled by the offered rate alone, never by service completions, so
+// unlike a closed loop the generator keeps offering load to a saturated
+// server — the regime where shed counts and the latency knee are measured.
+type OpenLoopConfig struct {
+	// QPS is the long-run offered request rate (required, > 0).
+	QPS float64
+	// Arrivals selects Poisson (default) or bursty MMPP arrivals.
+	Arrivals Arrival
+
+	// Users is the simulated user population (default 1M). Users carry no
+	// per-user state — a user's working set is derived by hashing, so
+	// millions of users cost nothing.
+	Users int64
+	// UserAlpha is the Zipf skew of user activity (default 1.05): a few
+	// users issue most requests, the long tail is nearly idle.
+	UserAlpha float64
+	// WorkingSet is the number of distinct keys in one user's affinity set
+	// (default 64).
+	WorkingSet int
+	// Affinity is the probability a requested key comes from the user's own
+	// working set rather than the global popularity distribution (default
+	// 0.8). Affinity draws are deterministic per (user, slot), so a user's
+	// requests re-touch the same keys — the temporal locality real serving
+	// traffic has and uniform resampling lacks.
+	Affinity float64
+
+	// KeysPerRequest is how many keys one request carries (default 26, one
+	// key per CR table).
+	KeysPerRequest int
+	// NumKeys is the key space size (required, > 0). Keys are drawn in
+	// [0, NumKeys).
+	NumKeys int64
+	// KeyAlpha is the Zipf skew of key popularity (default 1.2), applied
+	// both to global draws and, through the hash, to affinity sets — hot
+	// keys appear in many users' working sets.
+	KeyAlpha float64
+
+	// BurstRatio is the MMPP burst-state rate multiplier over the quiet
+	// state (default 8).
+	BurstRatio float64
+	// BurstFraction is the long-run fraction of time spent in the burst
+	// state (default 0.1). The quiet/burst rates are solved so the long-run
+	// offered rate stays exactly QPS.
+	BurstFraction float64
+	// QuietSojourn is the mean dwell time in the quiet state (default 1s);
+	// the burst dwell follows from BurstFraction.
+	QuietSojourn time.Duration
+}
+
+func (c OpenLoopConfig) normalize() (OpenLoopConfig, error) {
+	if c.QPS <= 0 {
+		return c, fmt.Errorf("workload: open loop needs QPS > 0, got %g", c.QPS)
+	}
+	if c.NumKeys <= 0 {
+		return c, fmt.Errorf("workload: open loop needs NumKeys > 0, got %d", c.NumKeys)
+	}
+	if c.Users <= 0 {
+		c.Users = 1_000_000
+	}
+	if c.UserAlpha <= 0 {
+		c.UserAlpha = 1.05
+	}
+	if c.WorkingSet <= 0 {
+		c.WorkingSet = 64
+	}
+	if c.Affinity < 0 || c.Affinity > 1 {
+		return c, fmt.Errorf("workload: affinity must be in [0, 1], got %g", c.Affinity)
+	}
+	if c.Affinity == 0 {
+		c.Affinity = 0.8
+	}
+	if c.KeysPerRequest <= 0 {
+		c.KeysPerRequest = 26
+	}
+	if c.KeyAlpha <= 0 {
+		c.KeyAlpha = 1.2
+	}
+	if c.BurstRatio <= 1 {
+		c.BurstRatio = 8
+	}
+	if c.BurstFraction <= 0 || c.BurstFraction >= 1 {
+		c.BurstFraction = 0.1
+	}
+	if c.QuietSojourn <= 0 {
+		c.QuietSojourn = time.Second
+	}
+	return c, nil
+}
+
+// OpenLoopRequest is one generated arrival. Keys is owned by the generator
+// and overwritten by the next Next call; copy it to retain.
+type OpenLoopRequest struct {
+	// At is the intended arrival time, as an offset from the stream's start.
+	// Open-loop latency is measured from At, not from when the load driver
+	// got around to sending — that is what avoids coordinated omission.
+	At time.Duration
+	// User is the simulated user issuing the request.
+	User int64
+	// Keys are the requested embedding keys.
+	Keys []int64
+}
+
+// OpenLoop is a deterministic open-loop request stream. Not safe for
+// concurrent use; shard one generator per driver goroutine with distinct
+// seeds instead.
+type OpenLoop struct {
+	cfg   OpenLoopConfig
+	r     *rng.Rand
+	users *Zipf
+	keys  *Zipf
+
+	now float64 // seconds since stream start
+
+	// MMPP state: current state's rate and when it ends.
+	burst    bool
+	rate     float64
+	stateEnd float64
+	rateLo   float64
+	rateHi   float64
+	meanLo   float64 // mean quiet sojourn, seconds
+	meanHi   float64 // mean burst sojourn, seconds
+
+	keyBuf []int64
+}
+
+// NewOpenLoop builds a generator. Streams with the same config and seed are
+// identical run to run.
+func NewOpenLoop(cfg OpenLoopConfig, seed uint64) (*OpenLoop, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	users, err := NewZipf(cfg.Users, cfg.UserAlpha)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := NewZipf(cfg.NumKeys, cfg.KeyAlpha)
+	if err != nil {
+		return nil, err
+	}
+	o := &OpenLoop{
+		cfg:    cfg,
+		r:      rng.New(seed).Split("open-loop"),
+		users:  users,
+		keys:   keys,
+		keyBuf: make([]int64, cfg.KeysPerRequest),
+	}
+	if cfg.Arrivals == MMPP {
+		// Stationary split pi_hi = BurstFraction with exponential sojourns,
+		// and rate_hi = BurstRatio * rate_lo; solve rate_lo so the long-run
+		// offered rate is exactly QPS:
+		//   QPS = (1-f)*rate_lo + f*BurstRatio*rate_lo.
+		f := cfg.BurstFraction
+		o.rateLo = cfg.QPS / ((1 - f) + f*cfg.BurstRatio)
+		o.rateHi = cfg.BurstRatio * o.rateLo
+		o.meanLo = cfg.QuietSojourn.Seconds()
+		o.meanHi = o.meanLo * f / (1 - f)
+		o.burst = false
+		o.rate = o.rateLo
+		o.stateEnd = o.r.Exp() * o.meanLo
+	} else {
+		o.rate = cfg.QPS
+	}
+	return o, nil
+}
+
+// splitmix64 is the stateless mixer behind per-user key affinity: hashing
+// (user, slot) to a uniform variate gives every user a stable working set
+// with zero per-user storage.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0, 1) with 53-bit precision.
+func unit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// Next advances the stream and fills req with the next arrival. The Keys
+// slice aliases the generator's buffer.
+func (o *OpenLoop) Next(req *OpenLoopRequest) {
+	o.advanceClock()
+	user := o.users.Sample(o.r)
+	keys := o.keyBuf[:o.cfg.KeysPerRequest]
+	for i := range keys {
+		if o.r.Float64() < o.cfg.Affinity {
+			// Affinity draw: a stable slot of this user's working set,
+			// mapped through the key-popularity CDF so hot keys land in
+			// many working sets.
+			slot := o.r.Intn(o.cfg.WorkingSet)
+			h := splitmix64(uint64(user)*0x100000001b3 + uint64(slot))
+			keys[i] = o.keys.Rank(unit(h))
+		} else {
+			keys[i] = o.keys.Sample(o.r)
+		}
+	}
+	req.At = time.Duration(o.now * float64(time.Second))
+	req.User = user
+	req.Keys = keys
+}
+
+// advanceClock draws the next inter-arrival time. For MMPP the exponential
+// draw is redrawn whenever it crosses a state switch — exact by
+// memorylessness, no thinning or discretization.
+func (o *OpenLoop) advanceClock() {
+	if o.cfg.Arrivals != MMPP {
+		o.now += o.r.Exp() / o.rate
+		return
+	}
+	for {
+		dt := o.r.Exp() / o.rate
+		if o.now+dt <= o.stateEnd {
+			o.now += dt
+			return
+		}
+		o.now = o.stateEnd
+		o.burst = !o.burst
+		if o.burst {
+			o.rate = o.rateHi
+			o.stateEnd = o.now + o.r.Exp()*o.meanHi
+		} else {
+			o.rate = o.rateLo
+			o.stateEnd = o.now + o.r.Exp()*o.meanLo
+		}
+	}
+}
+
+// UserKeys returns user u's full working set — the keys its affinity draws
+// can produce — for tests and cache-warmup tooling.
+func (o *OpenLoop) UserKeys(u int64) []int64 {
+	out := make([]int64, o.cfg.WorkingSet)
+	for slot := range out {
+		h := splitmix64(uint64(u)*0x100000001b3 + uint64(slot))
+		out[slot] = o.keys.Rank(unit(h))
+	}
+	return out
+}

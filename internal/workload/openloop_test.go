@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestZipfRankMatchesSample(t *testing.T) {
+	z, err := NewZipf(10_000, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank must be the deterministic inverse-CDF: monotone in u, in range,
+	// and hitting both ends.
+	if z.Rank(0) != 0 {
+		t.Fatalf("Rank(0) = %d, want 0", z.Rank(0))
+	}
+	if got := z.Rank(0.999999999); got != z.N-1 {
+		t.Fatalf("Rank(~1) = %d, want %d", got, z.N-1)
+	}
+	prev := int64(-1)
+	for u := 0.0; u < 1; u += 0.001 {
+		r := z.Rank(u)
+		if r < prev {
+			t.Fatalf("Rank not monotone at u=%g: %d < %d", u, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	cfg := OpenLoopConfig{QPS: 5000, NumKeys: 50_000, Arrivals: MMPP}
+	a, err := NewOpenLoop(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOpenLoop(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ra, rb OpenLoopRequest
+	for i := 0; i < 2000; i++ {
+		a.Next(&ra)
+		b.Next(&rb)
+		if ra.At != rb.At || ra.User != rb.User {
+			t.Fatalf("streams diverged at %d: %v/%d vs %v/%d", i, ra.At, ra.User, rb.At, rb.User)
+		}
+		for j := range ra.Keys {
+			if ra.Keys[j] != rb.Keys[j] {
+				t.Fatalf("keys diverged at request %d slot %d", i, j)
+			}
+		}
+	}
+}
+
+func TestOpenLoopPoissonRate(t *testing.T) {
+	const qps = 10_000.0
+	o, err := NewOpenLoop(OpenLoopConfig{QPS: qps, NumKeys: 10_000, Users: 1 << 20}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50_000
+	var req OpenLoopRequest
+	for i := 0; i < n; i++ {
+		o.Next(&req)
+		if req.User < 0 || req.User >= 1<<20 {
+			t.Fatalf("user %d out of range", req.User)
+		}
+		for _, k := range req.Keys {
+			if k < 0 || k >= 10_000 {
+				t.Fatalf("key %d out of range", k)
+			}
+		}
+	}
+	got := float64(n) / req.At.Seconds()
+	if math.Abs(got-qps)/qps > 0.05 {
+		t.Fatalf("empirical rate %.0f qps, want ~%.0f", got, qps)
+	}
+}
+
+// TestOpenLoopMMPP checks the modulated process keeps the configured
+// long-run rate while being measurably burstier than Poisson: the index of
+// dispersion (variance/mean of per-window arrival counts) is ~1 for Poisson
+// and must rise well above it under MMPP.
+func TestOpenLoopMMPP(t *testing.T) {
+	const qps = 20_000.0
+	dispersion := func(arrivals Arrival) (rate, idx float64) {
+		o, err := NewOpenLoop(OpenLoopConfig{
+			QPS: qps, NumKeys: 10_000, Arrivals: arrivals,
+			BurstRatio: 10, BurstFraction: 0.1, QuietSojourn: 100 * time.Millisecond,
+		}, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 400_000
+		const window = 10 * time.Millisecond
+		counts := make(map[int64]int)
+		var req OpenLoopRequest
+		for i := 0; i < n; i++ {
+			o.Next(&req)
+			counts[int64(req.At/window)]++
+		}
+		lastWin := int64(req.At / window)
+		mean, m2 := 0.0, 0.0
+		for w := int64(0); w < lastWin; w++ { // include empty windows
+			mean += float64(counts[w])
+		}
+		mean /= float64(lastWin)
+		for w := int64(0); w < lastWin; w++ {
+			d := float64(counts[w]) - mean
+			m2 += d * d
+		}
+		variance := m2 / float64(lastWin)
+		return float64(n) / req.At.Seconds(), variance / mean
+	}
+
+	rate, poissonIdx := dispersion(Poisson)
+	if math.Abs(rate-qps)/qps > 0.05 {
+		t.Fatalf("poisson long-run rate %.0f, want ~%.0f", rate, qps)
+	}
+	rate, mmppIdx := dispersion(MMPP)
+	if math.Abs(rate-qps)/qps > 0.10 {
+		t.Fatalf("mmpp long-run rate %.0f, want ~%.0f", rate, qps)
+	}
+	if poissonIdx > 2 {
+		t.Fatalf("poisson dispersion index %.2f, want ~1", poissonIdx)
+	}
+	if mmppIdx < 3*poissonIdx {
+		t.Fatalf("mmpp dispersion %.2f not burstier than poisson %.2f", mmppIdx, poissonIdx)
+	}
+}
+
+// TestOpenLoopAffinity checks per-user key locality: one user's requests
+// must overlap their own working set far more than another user's.
+func TestOpenLoopAffinity(t *testing.T) {
+	o, err := NewOpenLoop(OpenLoopConfig{
+		QPS: 1000, NumKeys: 1 << 20, KeyAlpha: 1.01, // weak skew: global collisions rare
+		Users: 1 << 30, WorkingSet: 32, Affinity: 0.9, KeysPerRequest: 8,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := func(set []int64, k int64) bool {
+		for _, s := range set {
+			if s == k {
+				return true
+			}
+		}
+		return false
+	}
+	var req OpenLoopRequest
+	own, other, total := 0, 0, 0
+	for i := 0; i < 3000; i++ {
+		o.Next(&req)
+		mine := o.UserKeys(req.User)
+		theirs := o.UserKeys(req.User + 1_000_003)
+		for _, k := range req.Keys {
+			total++
+			if inSet(mine, k) {
+				own++
+			}
+			if inSet(theirs, k) {
+				other++
+			}
+		}
+	}
+	ownFrac := float64(own) / float64(total)
+	otherFrac := float64(other) / float64(total)
+	if ownFrac < 0.8 {
+		t.Fatalf("only %.2f of keys from the user's own working set, want >= 0.8", ownFrac)
+	}
+	if otherFrac > 0.3*ownFrac {
+		t.Fatalf("unrelated user's set matched %.2f of keys (own %.2f) — affinity not per-user", otherFrac, ownFrac)
+	}
+}
+
+func TestOpenLoopConfigErrors(t *testing.T) {
+	if _, err := NewOpenLoop(OpenLoopConfig{NumKeys: 10}, 1); err == nil {
+		t.Fatal("accepted QPS <= 0")
+	}
+	if _, err := NewOpenLoop(OpenLoopConfig{QPS: 100}, 1); err == nil {
+		t.Fatal("accepted NumKeys <= 0")
+	}
+	if _, err := NewOpenLoop(OpenLoopConfig{QPS: 100, NumKeys: 10, Affinity: 1.5}, 1); err == nil {
+		t.Fatal("accepted affinity > 1")
+	}
+	if _, err := ParseArrival("bogus"); err == nil {
+		t.Fatal("parsed bogus arrival process")
+	}
+	for _, s := range []string{"poisson", "mmpp"} {
+		a, err := ParseArrival(s)
+		if err != nil || a.String() != s {
+			t.Fatalf("ParseArrival(%q) = %v, %v", s, a, err)
+		}
+	}
+}

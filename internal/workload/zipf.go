@@ -46,7 +46,14 @@ func NewZipf(n int64, alpha float64) (*Zipf, error) {
 
 // Sample draws one rank.
 func (z *Zipf) Sample(r *rng.Rand) int64 {
-	u := r.Float64()
+	return z.Rank(r.Float64())
+}
+
+// Rank maps one uniform variate in [0, 1) to a rank through the same
+// analytic CDF inversion Sample uses. It is the deterministic form: feeding
+// the same u always yields the same rank, which is what hash-derived draws
+// (per-user key affinity in the open-loop generator) need.
+func (z *Zipf) Rank(u float64) int64 {
 	var x float64
 	if z.isLog {
 		x = math.Exp(u*z.norm) - 1

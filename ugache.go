@@ -217,6 +217,23 @@ type ServeResult = serve.Result
 // ServeStats are the engine's cumulative counters.
 type ServeStats = serve.Stats
 
+// ServeClass prioritizes admission: inference requests outrank background
+// work, which rides a smaller queue and is shed first under pressure.
+type ServeClass = serve.Class
+
+const (
+	ClassInference  = serve.ClassInference
+	ClassBackground = serve.ClassBackground
+)
+
+// Admission outcomes (DESIGN.md §6.7): a request against a full bounded
+// queue is shed with ErrOverload (immediately, or after ServeConfig's
+// AdmitWait bound); requests racing shutdown observe ErrClosed.
+var (
+	ErrOverload = serve.ErrOverload
+	ErrClosed   = serve.ErrClosed
+)
+
 // Serve starts the serving engine on a built system. Close the returned
 // server to stop its workers.
 func Serve(sys *System, cfg ServeConfig) (*Server, error) { return serve.New(sys, cfg) }
