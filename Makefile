@@ -1,11 +1,11 @@
 GO ?= go
 
-RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline ./internal/milp ./internal/solver ./internal/workload ./internal/baselines ./internal/bench
+RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline ./internal/flight ./internal/milp ./internal/solver ./internal/workload ./internal/baselines ./internal/bench
 
 # Packages with testing.B microbenchmarks on the extraction hot path.
 BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve
 
-.PHONY: check build test vet fmt race bench bench-solver bench-drift bench-prefetch bench-serve figures trace-smoke
+.PHONY: check build test vet fmt race bench bench-solver bench-drift bench-prefetch bench-serve figures trace-smoke flight-smoke
 
 check: fmt vet build test race
 
@@ -69,3 +69,14 @@ trace-smoke:
 	$(GO) run ./cmd/ugache-serve -scale 0.02 -clients 4 -requests 20 \
 		-refresh -trace-out /tmp/ugache-trace-smoke.json
 	$(GO) run ./cmd/ugache-trace -check-timeline /tmp/ugache-trace-smoke.json
+
+# End-to-end flight-recorder smoke test: overload an open-loop run against a
+# deliberately unmeetable p99 SLO so the watchdog trips and writes a
+# diagnostic bundle, then validate it (manifest, JSONL events, metrics,
+# exemplar batch resolving to a span tree in the dumped timeline window).
+flight-smoke:
+	rm -rf /tmp/ugache-flight-smoke
+	$(GO) run ./cmd/ugache-serve -scale 0.02 -open-loop -qps 4000 -duration 3s \
+		-slo-p99-ms 0.01 -bundle-dir /tmp/ugache-flight-smoke
+	$(GO) run ./cmd/ugache-trace \
+		-check-bundle "$$(ls -td /tmp/ugache-flight-smoke/flight-* | head -1)"

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 
 	"ugache/internal/cache"
 	"ugache/internal/core"
+	"ugache/internal/flight"
 	"ugache/internal/platform"
 	"ugache/internal/prof"
 	"ugache/internal/rng"
@@ -78,6 +80,13 @@ type options struct {
 	duration   time.Duration
 	admission  string
 	queueDepth int
+
+	flight      bool
+	flightDepth int
+	sloP99Ms    float64
+	bundleDir   string
+	metricsOut  string
+	pprofOn     bool
 }
 
 func main() {
@@ -111,10 +120,27 @@ func main() {
 	flag.DurationVar(&o.duration, "duration", 2*time.Second, "open-loop run length")
 	flag.StringVar(&o.admission, "admission", "fastfail", "admission policy when the per-GPU queue is full: fastfail (shed immediately with ErrOverload) or a wait bound like 500us (shed only after waiting that long for space)")
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "per-GPU admission queue depth (0 = engine default 256)")
+	flag.BoolVar(&o.flight, "flight", true, "record flight-recorder events (always-on per-worker rings; zero hot-path allocations)")
+	flag.IntVar(&o.flightDepth, "flight-depth", 4096, "per-worker flight ring depth in events")
+	flag.Float64Var(&o.sloP99Ms, "slo-p99-ms", 0, "admitted-request p99 SLO in milliseconds; > 0 arms the watchdog (p99, shed ratio, queue saturation, solve wall, prefetch drops) to write a diagnostic bundle on violation")
+	flag.StringVar(&o.bundleDir, "bundle-dir", "ugache-bundles", "directory diagnostic bundles are written under (watchdog trips, SIGQUIT, POST /debug/flight/bundle)")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the final telemetry snapshot as JSON to this file at exit")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the -listen address")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime block profile rate in ns per sampled event (0 off; 1 samples every block)")
+	mutexFrac := flag.Int("mutex-profile-fraction", 0, "runtime mutex profile fraction (sample 1/n contended events; 0 off)")
 	flag.Parse()
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.StartWith(prof.Config{
+		CPUProfile:           *cpuprofile,
+		MemProfile:           *memprofile,
+		BlockProfile:         *blockprofile,
+		MutexProfile:         *mutexprofile,
+		BlockProfileRate:     *blockRate,
+		MutexProfileFraction: *mutexFrac,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", err)
 		os.Exit(1)
@@ -201,8 +227,15 @@ func run(o options) error {
 	// way so serve, sim, refresh and solver spans land in one trace.
 	reg := telemetry.NewRegistry(p.N)
 	var tl *timeline.Recorder
-	if o.traceOut != "" {
+	if o.traceOut != "" || o.flight {
+		// Flight keeps the span recorder on even without -trace-out: the
+		// watchdog's bundles dump the current timeline window, and exemplar
+		// batch seqs resolve into its span trees.
 		tl = timeline.NewRecorder(p.N, 0)
+	}
+	var fl *flight.Recorder
+	if o.flight {
+		fl = flight.NewRecorder(p.N, o.flightDepth)
 	}
 	health := telemetry.NewHealth()
 	t0 := time.Now()
@@ -215,6 +248,7 @@ func run(o options) error {
 		Solver:     solver.Options{Workers: o.workers, RelGap: o.relgap},
 		Telemetry:  reg,
 		Timeline:   tl,
+		Flight:     fl,
 	})
 	if err != nil {
 		return err
@@ -260,6 +294,7 @@ func run(o options) error {
 		Sampler:      sampler,
 		Controller:   ctrl,
 		Timeline:     tl,
+		Flight:       fl,
 		Lookahead:    o.lookahead,
 		StaleBatches: o.staleThr,
 		QueueDepth:   o.queueDepth,
@@ -272,6 +307,54 @@ func run(o options) error {
 		fmt.Printf("prefetch:          lookahead %d, staleness window %d batches, %d staged rows/GPU\n",
 			o.lookahead, o.staleThr, srv.StagingArena(0).Capacity())
 	}
+
+	// The watchdog rides the flight recorder: -slo-p99-ms > 0 arms the full
+	// SLO signal set (bundles on sustained violation); otherwise the recorder
+	// still runs and manual triggers (SIGQUIT, the /debug endpoint) work.
+	var wd *flight.Watchdog
+	if fl != nil {
+		slo := flight.SLO{}
+		if o.sloP99Ms > 0 {
+			slo = flight.SLO{
+				P99:                  time.Duration(o.sloP99Ms * float64(time.Millisecond)),
+				MaxShedRatio:         0.05,
+				MaxQueueFrac:         0.9,
+				MaxSolveWall:         2 * time.Second,
+				MaxPrefetchDropRatio: 0.5,
+			}
+		}
+		infCap, _ := srv.QueueCapacity()
+		wd, err = flight.NewWatchdog(flight.WatchdogConfig{
+			SLO:           slo,
+			Registry:      reg,
+			Recorder:      fl,
+			QueueCapacity: infCap,
+			Bundle: flight.BundleConfig{
+				Dir:      o.bundleDir,
+				Recorder: fl,
+				Registry: reg,
+				Timeline: tl,
+			},
+			OnBundle: func(path string, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ugache-serve: flight bundle: %v\n", err)
+					return
+				}
+				fmt.Printf("flight:            wrote diagnostic bundle %s\n", path)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		wd.Start()
+		if o.sloP99Ms > 0 {
+			fmt.Printf("flight:            %d rings x %d events; watchdog armed (p99 %gms, bundles -> %s)\n",
+				fl.Workers(), o.flightDepth, o.sloP99Ms, o.bundleDir)
+		} else {
+			fmt.Printf("flight:            %d rings x %d events; watchdog disarmed (SIGQUIT or POST /debug/flight/bundle for a manual bundle)\n",
+				fl.Workers(), o.flightDepth)
+		}
+	}
 	health.SetReady(true)
 
 	// finalize is the single shutdown path, shared by normal completion and
@@ -282,6 +365,9 @@ func run(o options) error {
 		finalizeOnce.Do(func() {
 			health.SetReady(false)
 			srv.Close()
+			if wd != nil {
+				wd.Close()
+			}
 			if ctrl != nil {
 				ctrl.Wait()
 				cst := ctrl.Stats()
@@ -304,6 +390,21 @@ func run(o options) error {
 						len(tl.Events()), o.traceOut)
 				}
 			}
+			if wd != nil {
+				st := wd.State()
+				fmt.Printf("flight:            %d events recorded, %d watchdog trips\n",
+					fl.Recorded(), st.Trips)
+				if st.LastBundlePath != "" {
+					fmt.Printf("flight bundle:     %s\n", st.LastBundlePath)
+				}
+			}
+			if o.metricsOut != "" {
+				if err := writeMetricsJSON(reg, o.metricsOut); err != nil {
+					fmt.Fprintf(os.Stderr, "ugache-serve: %v\n", err)
+				} else {
+					fmt.Printf("metrics:           final snapshot -> %s\n", o.metricsOut)
+				}
+			}
 			printFinalSnapshot(reg)
 		})
 	}
@@ -322,25 +423,48 @@ func run(o options) error {
 		os.Exit(0)
 	}()
 
+	// SIGQUIT freezes the evidence without killing the run: drain the flight
+	// rings and profiles into a bundle and keep serving (the default Go
+	// SIGQUIT behaviour — stack dump and exit — is preempted by the Notify).
+	if wd != nil {
+		sigq := make(chan os.Signal, 1)
+		signal.Notify(sigq, syscall.SIGQUIT)
+		defer signal.Stop(sigq)
+		go func() {
+			for range sigq {
+				if _, err := wd.TriggerBundle("sigquit"); err != nil {
+					fmt.Fprintf(os.Stderr, "ugache-serve: flight bundle: %v\n", err)
+				}
+			}
+		}()
+	}
+
 	if o.listen != "" {
 		ln, err := net.Listen("tcp", o.listen)
 		if err != nil {
 			return fmt.Errorf("telemetry listener: %w", err)
 		}
 		defer ln.Close()
-		handler := telemetry.NewHandler(telemetry.HandlerConfig{
-			Registry: reg,
-			Trace:    srv.Trace(),
-			Timeline: tl,
-			Health:   health,
-		})
+		hcfg := telemetry.HandlerConfig{
+			Registry:    reg,
+			Trace:       srv.Trace(),
+			Timeline:    tl,
+			Health:      health,
+			EnablePprof: o.pprofOn,
+		}
+		if wd != nil {
+			// Assigned only when non-nil: a typed-nil *Watchdog in the
+			// interface field would pass the handler's nil check and panic.
+			hcfg.Flight = wd
+		}
+		handler := telemetry.NewHandler(hcfg)
 		go func() {
 			if err := http.Serve(ln, handler); err != nil {
 				// The listener closes on exit; anything else is worth a note.
 				fmt.Fprintf(os.Stderr, "ugache-serve: telemetry server: %v\n", err)
 			}
 		}()
-		fmt.Printf("telemetry:         http://%s/metrics (also /debug/trace, /debug/timeline, /healthz, /readyz)\n", ln.Addr())
+		fmt.Printf("telemetry:         http://%s/metrics (also /debug/trace, /debug/timeline, /debug/flight, /healthz, /readyz)\n", ln.Addr())
 	}
 
 	if o.openLoop {
@@ -670,6 +794,31 @@ func writeTrace(tl *timeline.Recorder, path string) error {
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("trace-out: %w", err)
+	}
+	return nil
+}
+
+// writeMetricsJSON dumps the registry's Samples snapshot as one flat JSON
+// object (name -> value) — the machine-readable form of the final telemetry,
+// so short runs keep it without scraping the HTTP endpoint.
+func writeMetricsJSON(reg *telemetry.Registry, path string) error {
+	samples := reg.Samples()
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		out[s.Name] = s.Value
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
 	}
 	return nil
 }

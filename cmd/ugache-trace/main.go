@@ -6,6 +6,7 @@
 //	ugache-trace -gen trace.bin -dataset SYN-A -batches 64 -batch 8192
 //	ugache-trace -info trace.bin
 //	ugache-trace -check-timeline trace.json   # validate a span timeline
+//	ugache-trace -check-bundle bundles/flight-20260809-120000.000000000
 package main
 
 import (
@@ -14,20 +15,22 @@ import (
 	"os"
 	"sort"
 
+	"ugache/internal/flight"
 	"ugache/internal/timeline"
 	"ugache/internal/workload"
 )
 
 func main() {
 	var (
-		gen     = flag.String("gen", "", "write a trace to this file")
-		info    = flag.String("info", "", "print a trace's summary")
-		checkTL = flag.String("check-timeline", "", "validate a Chrome trace-event JSON file written by -trace-out / /debug/timeline")
-		dataset = flag.String("dataset", "SYN-A", "CR, SYN-A, or SYN-B")
-		scale   = flag.Float64("scale", 0.25, "dataset scale")
-		batches = flag.Int("batches", 64, "number of batches")
-		batch   = flag.Int("batch", 8192, "inference samples per batch")
-		seed    = flag.Uint64("seed", 42, "random seed")
+		gen      = flag.String("gen", "", "write a trace to this file")
+		info     = flag.String("info", "", "print a trace's summary")
+		checkTL  = flag.String("check-timeline", "", "validate a Chrome trace-event JSON file written by -trace-out / /debug/timeline")
+		checkBun = flag.String("check-bundle", "", "validate a flight-recorder diagnostic bundle directory (manifest, JSONL events, exemplar span resolution)")
+		dataset  = flag.String("dataset", "SYN-A", "CR, SYN-A, or SYN-B")
+		scale    = flag.Float64("scale", 0.25, "dataset scale")
+		batches  = flag.Int("batches", 64, "number of batches")
+		batch    = flag.Int("batch", 8192, "inference samples per batch")
+		seed     = flag.Uint64("seed", 42, "random seed")
 	)
 	flag.Parse()
 
@@ -113,6 +116,38 @@ func main() {
 		sort.Strings(names)
 		for _, name := range names {
 			fmt.Printf("  %-34s %d\n", name, rep.Names[name])
+		}
+
+	case *checkBun != "":
+		rep, err := flight.ValidateBundle(*checkBun)
+		if err != nil {
+			fatal("%v", err)
+		}
+		man := rep.Manifest
+		fmt.Printf("%s: valid bundle (reason %q, created %s)\n", *checkBun, man.Reason, man.Created)
+		fmt.Printf("  files:            %v\n", man.Files)
+		fmt.Printf("  flight events:    %d\n", rep.EventLines)
+		kinds := make([]string, 0, len(rep.EventsByKind))
+		for k := range rep.EventsByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Printf("    %-16s %d\n", k, rep.EventsByKind[k])
+		}
+		fmt.Printf("  metric samples:   %d\n", rep.MetricCount)
+		fmt.Printf("  timeline events:  %d\n", rep.TimelineEvents)
+		for _, v := range man.Violations {
+			state := "ok"
+			if v.Breached {
+				state = "BREACHED"
+			}
+			fmt.Printf("  signal %-28s %s (short %.4g, long %.4g, threshold %.4g)\n",
+				v.Name, state, v.Short, v.Long, v.Threshold)
+		}
+		if ex := man.Exemplar; ex != nil {
+			fmt.Printf("  exemplar:         batch seq %d on gpu %d (%.3fms) -> span tree of %d spans\n",
+				ex.Seq, ex.GPU, ex.LatencySeconds*1e3, rep.ExemplarSpans)
 		}
 
 	default:

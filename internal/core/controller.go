@@ -6,8 +6,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ugache/internal/cache"
+	"ugache/internal/flight"
 	"ugache/internal/telemetry"
 	"ugache/internal/timeline"
 	"ugache/internal/workload"
@@ -337,8 +339,21 @@ func (c *Controller) refresh(measured workload.Hotness, atBatch int64) error {
 	return nil
 }
 
-// emitCheckSpan records one drift evaluation on the control track.
+// emitCheckSpan records one drift evaluation on the control track and, when
+// a flight recorder is wired, mirrors it into the control flight ring so the
+// detector's last evaluations survive into diagnostic bundles.
 func (c *Controller) emitCheckSpan(st *cache.DriftStatus) {
+	if fl := c.sys.fl; fl != nil {
+		e := flight.Event{Kind: flight.KindDrift, GPU: -1, UnixNanos: time.Now().UnixNano()}
+		e.V[flight.DriftScore] = st.Score
+		e.V[flight.DriftTopKOverlap] = st.TopKOverlap
+		e.V[flight.DriftRankDistance] = st.RankDistance
+		e.V[flight.DriftWindowBatches] = float64(st.Batches)
+		if st.Drifted {
+			e.V[flight.DriftDrifted] = 1
+		}
+		fl.RecordControl(&e)
+	}
 	tl := c.sys.tl
 	if tl == nil {
 		return

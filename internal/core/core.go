@@ -25,6 +25,7 @@ import (
 
 	"ugache/internal/cache"
 	"ugache/internal/extract"
+	"ugache/internal/flight"
 	"ugache/internal/platform"
 	"ugache/internal/sim"
 	"ugache/internal/solver"
@@ -81,6 +82,11 @@ type Config struct {
 	// with a phase-recording Scratch additionally publish per-link peak
 	// utilization gauges into Telemetry. Nil disables all of it.
 	Timeline *timeline.Recorder
+	// Flight, when non-nil, receives control-plane flight events: every
+	// completed Refresh (solve wall, applied delta, impact) and every drift
+	// evaluation from an attached controller, recorded into the flight
+	// recorder's shared control ring (DESIGN.md §6.8).
+	Flight *flight.Recorder
 }
 
 // engineState is the immutable placement-derived state one extraction or
@@ -118,6 +124,9 @@ type System struct {
 	// tl is nil unless Config.Timeline was set; Refresh then emits solver
 	// spans into it (the cache layer emits its own refresh-step spans).
 	tl *timeline.Recorder
+	// fl is nil unless Config.Flight was set; Refresh and any attached
+	// controller then record control-plane flight events.
+	fl *flight.Recorder
 }
 
 // extractMetrics splits the modelled extraction work by source tier — the
@@ -337,6 +346,7 @@ func Build(cfg Config) (*System, error) {
 		cfg.Timeline.SetThreadName(timeline.ProcControl, timeline.TIDRefresh, "cache refresh")
 		cfg.Timeline.SetThreadName(timeline.ProcControl, timeline.TIDSolver, "policy solver")
 	}
+	s.fl = cfg.Flight
 	s.state.Store(&engineState{placement: pl, extractor: ex, input: in, version: 1})
 	return s, nil
 }
@@ -477,6 +487,19 @@ func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg 
 		return nil, err
 	}
 	s.state.Store(&engineState{placement: pl, extractor: ex, input: in, version: old.version + 1})
+	if s.fl != nil {
+		// One control-plane flight event per applied refresh; Seq is the new
+		// placement version, so bundle readers can line refreshes up against
+		// the staging arena's staleness decisions.
+		e := flight.Event{Kind: flight.KindRefresh, GPU: -1,
+			Seq: int64(old.version + 1), UnixNanos: time.Now().UnixNano()}
+		e.V[flight.RefreshSolveWallSeconds] = solveWall
+		e.V[flight.RefreshDurationSeconds] = rep.Duration
+		e.V[flight.RefreshMovedEntries] = float64(rep.EvictedEntries + rep.InsertedEntries)
+		e.V[flight.RefreshMeanImpact] = rep.MeanImpact
+		e.V[flight.RefreshSolveNodes] = float64(pl.SolveNodes)
+		s.fl.RecordControl(&e)
+	}
 	return rep, nil
 }
 

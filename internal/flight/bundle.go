@@ -1,0 +1,179 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"ugache/internal/telemetry"
+)
+
+// TimelineWriter is anything that can export a Chrome trace-event JSON
+// document — in practice *timeline.Recorder, accepted as an interface so
+// wiring stays one-directional.
+type TimelineWriter interface {
+	WriteTrace(w io.Writer) error
+}
+
+// BundleConfig describes what a diagnostic bundle captures. Any nil source
+// simply omits its file; the manifest records what was written.
+type BundleConfig struct {
+	// Dir is the directory bundles are created under (one timestamped
+	// subdirectory per bundle). Created if missing.
+	Dir string
+	// Recorder supplies flight.jsonl (the drained event rings).
+	Recorder *Recorder
+	// Registry supplies metrics.json (a full Samples snapshot).
+	Registry *telemetry.Registry
+	// Timeline supplies timeline.json (the current span-ring window, the
+	// same Chrome trace-event document /debug/timeline serves).
+	Timeline TimelineWriter
+	// SkipProfiles omits the goroutine dump and heap profile — tests use it
+	// to keep bundle writing fast; production bundles always want both.
+	SkipProfiles bool
+}
+
+// Bundle file names. The manifest is written last so a manifest's presence
+// means the bundle is complete.
+const (
+	ManifestFile   = "manifest.json"
+	EventsFile     = "flight.jsonl"
+	MetricsFile    = "metrics.json"
+	TimelineFile   = "timeline.json"
+	GoroutinesFile = "goroutines.txt"
+	HeapFile       = "heap.pprof"
+)
+
+// Exemplar references the slowest coalesced batch observed in the watchdog
+// window: the (GPU, Seq) pair resolves to the batch's span tree in the
+// bundled timeline window (the root "batch" span carries a matching seq
+// arg), linking the flight events, the metrics and the timeline.
+type Exemplar struct {
+	GPU            int32   `json:"gpu"`
+	Seq            int64   `json:"seq"`
+	LatencySeconds float64 `json:"latency_seconds"`
+	UnixNanos      int64   `json:"unix_nanos"`
+}
+
+// Manifest indexes one diagnostic bundle.
+type Manifest struct {
+	Version          int           `json:"version"`
+	CreatedUnixNanos int64         `json:"created_unix_nanos"`
+	Created          string        `json:"created"`
+	Reason           string        `json:"reason"`
+	Violations       []SignalState `json:"violations,omitempty"`
+	Exemplar         *Exemplar     `json:"exemplar,omitempty"`
+	Files            []string      `json:"files"`
+	FlightEvents     int           `json:"flight_events"`
+	MetricSamples    int           `json:"metric_samples"`
+}
+
+// manifestVersion is bumped when the bundle layout changes incompatibly.
+const manifestVersion = 1
+
+// WriteBundle drains cfg's sources into a new timestamped directory under
+// cfg.Dir and returns the bundle path. The manifest is written last, so
+// readers may treat its presence as a completeness marker.
+func WriteBundle(cfg BundleConfig, reason string, violations []SignalState, ex *Exemplar) (string, error) {
+	if cfg.Dir == "" {
+		return "", fmt.Errorf("flight: bundle needs a directory")
+	}
+	now := time.Now()
+	dir := filepath.Join(cfg.Dir, "flight-"+now.UTC().Format("20060102-150405.000000000"))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	man := Manifest{
+		Version:          manifestVersion,
+		CreatedUnixNanos: now.UnixNano(),
+		Created:          now.UTC().Format(time.RFC3339Nano),
+		Reason:           reason,
+		Violations:       violations,
+		Exemplar:         ex,
+	}
+	writeFile := func(name string, fill func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("flight: %s: %w", name, err)
+		}
+		bw := bufio.NewWriter(f)
+		if err := fill(bw); err != nil {
+			f.Close()
+			return fmt.Errorf("flight: %s: %w", name, err)
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("flight: %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("flight: %s: %w", name, err)
+		}
+		man.Files = append(man.Files, name)
+		return nil
+	}
+
+	if cfg.Recorder != nil {
+		events := cfg.Recorder.Snapshot()
+		man.FlightEvents = len(events)
+		if err := writeFile(EventsFile, func(w io.Writer) error {
+			var buf []byte
+			for i := range events {
+				buf = events[i].appendJSON(buf[:0])
+				buf = append(buf, '\n')
+				if _, err := w.Write(buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return "", err
+		}
+	}
+	if cfg.Registry != nil {
+		samples := cfg.Registry.Samples()
+		man.MetricSamples = len(samples)
+		if err := writeFile(MetricsFile, func(w io.Writer) error {
+			out := make(map[string]float64, len(samples))
+			for _, s := range samples {
+				out[s.Name] = s.Value
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out)
+		}); err != nil {
+			return "", err
+		}
+	}
+	if cfg.Timeline != nil {
+		if err := writeFile(TimelineFile, cfg.Timeline.WriteTrace); err != nil {
+			return "", err
+		}
+	}
+	if !cfg.SkipProfiles {
+		if err := writeFile(GoroutinesFile, func(w io.Writer) error {
+			return pprof.Lookup("goroutine").WriteTo(w, 1)
+		}); err != nil {
+			return "", err
+		}
+		if err := writeFile(HeapFile, func(w io.Writer) error {
+			runtime.GC() // up-to-date live-heap statistics
+			return pprof.WriteHeapProfile(w)
+		}); err != nil {
+			return "", err
+		}
+	}
+	if err := writeFile(ManifestFile, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&man)
+	}); err != nil {
+		return "", err
+	}
+	return dir, nil
+}

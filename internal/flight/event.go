@@ -1,0 +1,171 @@
+// Package flight is the serving stack's always-on flight recorder: a
+// constant-memory, zero-hot-path-allocation log of structured events
+// (coalesced-batch completions, queue-depth and shed samples, refresh /
+// solver / drift control events) held in per-worker lock-free rings, plus
+// an SLO watchdog that evaluates rolling multi-window burn-rate style
+// objectives over the live telemetry and, on a violation, drains everything
+// the post-hoc debugger needs into a self-contained diagnostic bundle
+// (events as JSONL, a telemetry snapshot, the current span-timeline window,
+// a goroutine dump and a heap profile, tied together by a manifest).
+//
+// Where internal/telemetry answers "how many / how long on average" and
+// internal/timeline answers "when, on which track", flight answers "what
+// exactly happened in the seconds before things went wrong" — and it keeps
+// answering after the fact, because recording never stops and tripping the
+// watchdog freezes the evidence on disk (DESIGN.md §6.8).
+package flight
+
+import (
+	"math"
+	"strconv"
+)
+
+// Kind tags one recorded event's type; it selects which payload slots are
+// meaningful and how they are named in the JSONL export.
+type Kind uint8
+
+const (
+	// KindBatch is one coalesced serving batch's completion.
+	KindBatch Kind = iota + 1
+	// KindQueue is one admission-queue sample, taken at batch formation.
+	KindQueue
+	// KindShed marks admission sheds observed since the previous queue
+	// sample (emitted only when the count moved).
+	KindShed
+	// KindRefresh is one completed placement refresh (control plane).
+	KindRefresh
+	// KindDrift is one drift-detector evaluation (control plane).
+	KindDrift
+	// KindPrefetch is one staged lookahead prefetch window.
+	KindPrefetch
+)
+
+// String returns the kind's JSONL name.
+func (k Kind) String() string {
+	switch k {
+	case KindBatch:
+		return "batch"
+	case KindQueue:
+		return "queue"
+	case KindShed:
+		return "shed"
+	case KindRefresh:
+		return "refresh"
+	case KindDrift:
+		return "drift"
+	case KindPrefetch:
+		return "prefetch"
+	}
+	return "unknown"
+}
+
+// MaxPayload is the number of numeric payload slots on an Event.
+const MaxPayload = 8
+
+// Payload slot indices for KindBatch events.
+const (
+	// BatchLatencySeconds is the slowest coalesced request's
+	// enqueue-to-reply latency — the per-batch exemplar the watchdog
+	// resolves into the timeline span tree.
+	BatchLatencySeconds = iota
+	BatchRequests
+	BatchUniqueKeys
+	BatchPrefetchHits
+	BatchSimSeconds
+	BatchLocalSeconds
+	BatchRemoteSeconds
+	BatchHostSeconds
+)
+
+// Payload slot indices for KindQueue events.
+const (
+	QueueDepth = iota
+	QueueShedTotal
+)
+
+// Payload slot indices for KindShed events.
+const (
+	ShedNew = iota
+)
+
+// Payload slot indices for KindRefresh events.
+const (
+	RefreshSolveWallSeconds = iota
+	RefreshDurationSeconds
+	RefreshMovedEntries
+	RefreshMeanImpact
+	RefreshSolveNodes
+)
+
+// Payload slot indices for KindDrift events.
+const (
+	DriftScore = iota
+	DriftTopKOverlap
+	DriftRankDistance
+	DriftWindowBatches
+	DriftDrifted
+)
+
+// Payload slot indices for KindPrefetch events.
+const (
+	PrefetchAnnouncedKeys = iota
+	PrefetchFetchedKeys
+	PrefetchSimSeconds
+)
+
+// kindFields names each kind's used payload slots, in slot order; the JSONL
+// export emits exactly these.
+var kindFields = map[Kind][]string{
+	KindBatch: {"latency_s", "requests", "unique_keys", "prefetch_hits",
+		"sim_s", "local_s", "remote_s", "host_s"},
+	KindQueue:    {"depth", "shed_total"},
+	KindShed:     {"new_sheds"},
+	KindRefresh:  {"solve_wall_s", "duration_s", "moved_entries", "mean_impact", "solve_nodes"},
+	KindDrift:    {"score", "topk_overlap", "rank_distance", "window_batches", "drifted"},
+	KindPrefetch: {"announced_keys", "fetched_keys", "sim_s"},
+}
+
+// Event is one flight-recorder record. The struct is flat — no pointers, no
+// slices, no strings — so recording is a fixed number of atomic word stores
+// into a preallocated ring slot and never allocates.
+type Event struct {
+	// Kind selects the payload schema.
+	Kind Kind
+	// GPU is the worker/GPU the event belongs to, or -1 for control-plane
+	// events that have no single GPU.
+	GPU int32
+	// Seq is a kind-specific sequence: the worker's batch sequence for
+	// KindBatch (the exemplar key that resolves into the timeline's batch
+	// span tree), the placement version for KindRefresh, 0 otherwise.
+	Seq int64
+	// UnixNanos is the event's wall-clock time.
+	UnixNanos int64
+	// V holds the payload slots; meaning per kind (see the slot index
+	// constants), unused slots stay zero.
+	V [MaxPayload]float64
+}
+
+// appendJSON renders the event as one JSON object (no trailing newline),
+// using the kind's field names for the used payload slots.
+func (e *Event) appendJSON(buf []byte) []byte {
+	buf = append(buf, `{"kind":"`...)
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, `","unix_nanos":`...)
+	buf = strconv.AppendInt(buf, e.UnixNanos, 10)
+	buf = append(buf, `,"gpu":`...)
+	buf = strconv.AppendInt(buf, int64(e.GPU), 10)
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendInt(buf, e.Seq, 10)
+	for i, name := range kindFields[e.Kind] {
+		buf = append(buf, ',', '"')
+		buf = append(buf, name...)
+		buf = append(buf, '"', ':')
+		v := e.V[i]
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			v = 0
+		}
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	}
+	buf = append(buf, '}')
+	return buf
+}

@@ -1,0 +1,214 @@
+package flight
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// slotWords is the number of payload words a ring slot carries beyond its
+// sequence word: one packed kind/GPU word, the event sequence, the
+// wall-clock nanos, and MaxPayload float64 slots.
+const slotWords = 3 + MaxPayload
+
+// slot is one ring entry, stored entirely in atomic words so a writer and
+// any number of concurrent readers never perform a data race. The sn word
+// is a seqlock: the writer bumps it to odd before touching the payload and
+// to even after; a reader that observes an odd value, or a value that moved
+// while it copied, discards the slot instead of surfacing a torn event.
+type slot struct {
+	sn atomic.Uint64
+	w  [slotWords]atomic.Uint64
+}
+
+// Ring is one writer's fixed-capacity event ring. Record is single-producer
+// (each serving worker owns its ring; the recorder serializes control-plane
+// writers with a mutex of its own) and lock-free: a fixed number of atomic
+// stores, no allocation, no branches beyond the seqlock protocol. Readers
+// snapshot concurrently without stopping the writer — an overwritten or
+// in-flight slot is simply skipped.
+type Ring struct {
+	slots []slot
+	mask  uint64
+	head  atomic.Uint64 // total records ever written; next slot = head & mask
+}
+
+// NewRing returns a ring holding the last depth events (rounded up to a
+// power of two, min 8).
+func NewRing(depth int) *Ring {
+	cap := 8
+	for cap < depth {
+		cap <<= 1
+	}
+	return &Ring{slots: make([]slot, cap), mask: uint64(cap - 1)}
+}
+
+// Depth returns the ring capacity in events.
+func (r *Ring) Depth() int { return len(r.slots) }
+
+// Record copies one event into the ring, overwriting the oldest once full.
+// Single producer per ring; concurrent readers are safe.
+func (r *Ring) Record(e *Event) {
+	h := r.head.Load()
+	s := &r.slots[h&r.mask]
+	sn := s.sn.Load()
+	s.sn.Store(sn + 1) // odd: write in progress
+	s.w[0].Store(uint64(e.Kind)<<32 | uint64(uint32(e.GPU)))
+	s.w[1].Store(uint64(e.Seq))
+	s.w[2].Store(uint64(e.UnixNanos))
+	for i := 0; i < MaxPayload; i++ {
+		s.w[3+i].Store(math.Float64bits(e.V[i]))
+	}
+	s.sn.Store(sn + 2) // even: committed
+	r.head.Store(h + 1)
+}
+
+// Recorded returns the total number of events ever written.
+func (r *Ring) Recorded() uint64 { return r.head.Load() }
+
+// Snapshot appends the ring's current events to dst, oldest first, and
+// returns it. Runs concurrently with Record: slots being overwritten during
+// the copy are dropped rather than surfaced torn, so a snapshot under a hot
+// writer may hold slightly fewer than Depth events.
+func (r *Ring) Snapshot(dst []Event) []Event {
+	h := r.head.Load()
+	n := uint64(len(r.slots))
+	if h < n {
+		n = h
+	}
+	for i := h - n; i < h; i++ {
+		s := &r.slots[i&r.mask]
+		sn1 := s.sn.Load()
+		if sn1%2 == 1 {
+			continue // mid-write
+		}
+		var e Event
+		kg := s.w[0].Load()
+		e.Kind = Kind(kg >> 32)
+		e.GPU = int32(uint32(kg))
+		e.Seq = int64(s.w[1].Load())
+		e.UnixNanos = int64(s.w[2].Load())
+		for j := 0; j < MaxPayload; j++ {
+			e.V[j] = math.Float64frombits(s.w[3+j].Load())
+		}
+		if s.sn.Load() != sn1 || e.Kind == 0 {
+			continue // torn (lapped by the writer) or never written
+		}
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// Recorder owns one flight ring per serving worker plus a shared
+// control-plane ring (refresh / solver / drift events, which have several
+// slow-path writers and therefore take a short mutex). Memory is fixed at
+// construction: workers x depth + depth slots, nothing grows afterwards.
+type Recorder struct {
+	rings []*Ring
+	ctrl  *Ring
+	ctrlM sync.Mutex
+}
+
+// DefaultDepth is the per-ring depth used when NewRecorder is given a
+// non-positive depth.
+const DefaultDepth = 4096
+
+// NewRecorder creates a recorder with one ring per worker (values < 1 are
+// raised to 1) plus the control ring, each holding the last depth events.
+func NewRecorder(workers, depth int) *Recorder {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = DefaultDepth
+	}
+	r := &Recorder{rings: make([]*Ring, workers), ctrl: NewRing(depth)}
+	for i := range r.rings {
+		r.rings[i] = NewRing(depth)
+	}
+	return r
+}
+
+// Workers returns the number of per-worker rings.
+func (r *Recorder) Workers() int { return len(r.rings) }
+
+// Ring returns worker i's ring (reduced modulo the worker count). Cache the
+// pointer next to the worker's scratch; worker i must be the ring's only
+// producer.
+func (r *Recorder) Ring(i int) *Ring {
+	if i < 0 {
+		i = -i
+	}
+	return r.rings[i%len(r.rings)]
+}
+
+// RecordControl records one control-plane event (refresh, solver, drift)
+// into the shared control ring under a short mutex — control writers are
+// slow-path and may be concurrent.
+func (r *Recorder) RecordControl(e *Event) {
+	r.ctrlM.Lock()
+	r.ctrl.Record(e)
+	r.ctrlM.Unlock()
+}
+
+// Recorded sums the events ever written across all rings.
+func (r *Recorder) Recorded() uint64 {
+	total := r.ctrl.Recorded()
+	for _, rg := range r.rings {
+		total += rg.Recorded()
+	}
+	return total
+}
+
+// Snapshot returns a merged copy of every ring's events sorted by wall time
+// (stable across rings: ties keep worker order, control last).
+func (r *Recorder) Snapshot() []Event {
+	var out []Event
+	for _, rg := range r.rings {
+		out = rg.Snapshot(out)
+	}
+	out = r.ctrl.Snapshot(out)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].UnixNanos < out[j].UnixNanos
+	})
+	return out
+}
+
+// SlowestBatch returns the KindBatch event with the highest latency at or
+// after sinceNanos (0 scans everything) — the watchdog's exemplar.
+func (r *Recorder) SlowestBatch(sinceNanos int64) (Event, bool) {
+	var best Event
+	found := false
+	var buf []Event
+	for _, rg := range r.rings {
+		buf = rg.Snapshot(buf[:0])
+		for i := range buf {
+			e := &buf[i]
+			if e.Kind != KindBatch || e.UnixNanos < sinceNanos {
+				continue
+			}
+			if !found || e.V[BatchLatencySeconds] > best.V[BatchLatencySeconds] {
+				best, found = *e, true
+			}
+		}
+	}
+	return best, found
+}
+
+// WriteJSONL drains a merged snapshot as JSON Lines, one event object per
+// line, oldest first — the bundle's flight.jsonl format.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, e := range r.Snapshot() {
+		buf = e.appendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,216 @@
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func batchEvent(gpu int32, seq int64, lat float64, nanos int64) Event {
+	e := Event{Kind: KindBatch, GPU: gpu, Seq: seq, UnixNanos: nanos}
+	e.V[BatchLatencySeconds] = lat
+	e.V[BatchRequests] = 3
+	return e
+}
+
+func TestRingRoundTrip(t *testing.T) {
+	r := NewRing(16)
+	if r.Depth() != 16 {
+		t.Fatalf("depth = %d, want 16", r.Depth())
+	}
+	for i := 0; i < 5; i++ {
+		e := batchEvent(2, int64(i+1), float64(i)*1e-3, int64(1000+i))
+		r.Record(&e)
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 5 {
+		t.Fatalf("snapshot holds %d events, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Kind != KindBatch || e.GPU != 2 || e.Seq != int64(i+1) || e.UnixNanos != int64(1000+i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if e.V[BatchLatencySeconds] != float64(i)*1e-3 {
+			t.Fatalf("event %d latency = %g", i, e.V[BatchLatencySeconds])
+		}
+	}
+}
+
+func TestRingDepthRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 8}, {1, 8}, {9, 16}, {4096, 4096}, {5000, 8192}} {
+		if got := NewRing(tc.ask).Depth(); got != tc.want {
+			t.Errorf("NewRing(%d).Depth() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingOverwriteKeepsNewest(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 20; i++ {
+		e := batchEvent(0, int64(i), 0, int64(i))
+		r.Record(&e)
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 8 {
+		t.Fatalf("snapshot holds %d events, want 8", len(got))
+	}
+	for i, e := range got {
+		if want := int64(12 + i); e.Seq != want {
+			t.Fatalf("slot %d seq = %d, want %d (oldest first)", i, e.Seq, want)
+		}
+	}
+	if r.Recorded() != 20 {
+		t.Fatalf("Recorded() = %d, want 20", r.Recorded())
+	}
+}
+
+func TestRingNegativeGPURoundTrips(t *testing.T) {
+	r := NewRing(8)
+	e := Event{Kind: KindRefresh, GPU: -1, Seq: 7, UnixNanos: 1}
+	r.Record(&e)
+	got := r.Snapshot(nil)
+	if len(got) != 1 || got[0].GPU != -1 {
+		t.Fatalf("control event GPU = %+v, want -1", got)
+	}
+}
+
+// TestRingConcurrentSnapshot hammers one producer against concurrent
+// readers; under -race this is the proof the seqlock slots are sound, and in
+// any mode every surfaced event must be internally consistent (never torn).
+func TestRingConcurrentSnapshot(t *testing.T) {
+	r := NewRing(64)
+	const writes = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for reader := 0; reader < 3; reader++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []Event
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = r.Snapshot(buf[:0])
+				for _, e := range buf {
+					if e.Kind != KindBatch {
+						t.Errorf("torn event kind %d", e.Kind)
+						return
+					}
+					// Writer keeps Seq == UnixNanos == V[0]; a torn read
+					// would mix words from different writes.
+					if e.Seq != e.UnixNanos || float64(e.Seq) != e.V[0] {
+						t.Errorf("torn event: seq=%d nanos=%d v0=%g", e.Seq, e.UnixNanos, e.V[0])
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 1; i <= writes; i++ {
+		e := Event{Kind: KindBatch, GPU: 0, Seq: int64(i), UnixNanos: int64(i)}
+		e.V[0] = float64(i)
+		r.Record(&e)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRecorderSnapshotMergesSorted(t *testing.T) {
+	rec := NewRecorder(2, 8)
+	if rec.Workers() != 2 {
+		t.Fatalf("workers = %d", rec.Workers())
+	}
+	e := batchEvent(0, 1, 0, 30)
+	rec.Ring(0).Record(&e)
+	e = batchEvent(1, 1, 0, 10)
+	rec.Ring(1).Record(&e)
+	ctrl := Event{Kind: KindRefresh, GPU: -1, Seq: 2, UnixNanos: 20}
+	rec.RecordControl(&ctrl)
+	got := rec.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("merged snapshot holds %d events, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].UnixNanos < got[i-1].UnixNanos {
+			t.Fatalf("snapshot not time-sorted: %v", got)
+		}
+	}
+	if rec.Recorded() != 3 {
+		t.Fatalf("Recorded() = %d, want 3", rec.Recorded())
+	}
+}
+
+func TestRecorderSlowestBatch(t *testing.T) {
+	rec := NewRecorder(2, 8)
+	for i, lat := range []float64{0.001, 0.050, 0.002} {
+		e := batchEvent(int32(i%2), int64(i), lat, int64(100+i))
+		rec.Ring(i % 2).Record(&e)
+	}
+	ex, ok := rec.SlowestBatch(0)
+	if !ok || ex.Seq != 1 || ex.V[BatchLatencySeconds] != 0.050 {
+		t.Fatalf("SlowestBatch = %+v ok=%v, want seq 1 at 50ms", ex, ok)
+	}
+	// The since bound excludes the slowest; the later, faster one wins.
+	ex, ok = rec.SlowestBatch(102)
+	if !ok || ex.Seq != 2 {
+		t.Fatalf("SlowestBatch(since) = %+v ok=%v, want seq 2", ex, ok)
+	}
+	if _, ok := rec.SlowestBatch(1000); ok {
+		t.Fatal("SlowestBatch past the end found something")
+	}
+}
+
+func TestWriteJSONLParses(t *testing.T) {
+	rec := NewRecorder(1, 8)
+	e := batchEvent(0, 9, 0.004, 1)
+	rec.Ring(0).Record(&e)
+	d := Event{Kind: KindDrift, GPU: -1, UnixNanos: 2}
+	d.V[DriftScore] = 0.42
+	d.V[DriftDrifted] = 1
+	rec.RecordControl(&d)
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var kinds []string
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %q does not parse: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, obj["kind"].(string))
+		switch obj["kind"] {
+		case "batch":
+			if obj["latency_s"].(float64) != 0.004 || obj["seq"].(float64) != 9 {
+				t.Fatalf("batch line = %v", obj)
+			}
+		case "drift":
+			if obj["score"].(float64) != 0.42 || obj["drifted"].(float64) != 1 {
+				t.Fatalf("drift line = %v", obj)
+			}
+			if obj["gpu"].(float64) != -1 {
+				t.Fatalf("drift gpu = %v, want -1", obj["gpu"])
+			}
+		}
+	}
+	if strings.Join(kinds, ",") != "batch,drift" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+// TestRecordNoAlloc pins the zero-allocation contract of the recording path.
+func TestRecordNoAlloc(t *testing.T) {
+	r := NewRing(64)
+	e := batchEvent(0, 1, 0.001, 123)
+	if n := testing.AllocsPerRun(1000, func() { r.Record(&e) }); n != 0 {
+		t.Fatalf("Record allocates %.1f per op, want 0", n)
+	}
+}

@@ -1,0 +1,226 @@
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ugache/internal/timeline"
+)
+
+// BundleReport summarizes one validated diagnostic bundle — the output of
+// `ugache-trace -check-bundle` and the assertion surface of the flight-smoke
+// target.
+type BundleReport struct {
+	// Dir is the bundle directory.
+	Dir string
+	// Manifest is the parsed manifest.
+	Manifest Manifest
+	// EventLines is the number of JSONL events parsed from flight.jsonl.
+	EventLines int
+	// EventsByKind counts parsed events per kind name.
+	EventsByKind map[string]int
+	// MetricCount is the number of samples in metrics.json.
+	MetricCount int
+	// TimelineEvents is the number of trace events in timeline.json.
+	TimelineEvents int
+	// ExemplarSpans is the size of the exemplar batch's resolved span tree
+	// (the root "batch" span plus its children), 0 when the manifest has no
+	// exemplar.
+	ExemplarSpans int
+}
+
+// ValidateBundle checks a diagnostic bundle directory end to end: the
+// manifest parses and every file it lists exists non-empty, flight.jsonl
+// parses line by line with the event count the manifest promised,
+// metrics.json and timeline.json parse, profiles are non-empty, and — when
+// the manifest carries an exemplar — the exemplar's (GPU, batch seq)
+// resolves to a root "batch" span with a matching seq arg in the bundled
+// timeline window, along with the child spans nested under it.
+func ValidateBundle(dir string) (*BundleReport, error) {
+	rep := &BundleReport{Dir: dir, EventsByKind: make(map[string]int)}
+
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("flight: bundle manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &rep.Manifest); err != nil {
+		return nil, fmt.Errorf("flight: bundle manifest does not parse: %w", err)
+	}
+	if rep.Manifest.Version != manifestVersion {
+		return nil, fmt.Errorf("flight: bundle manifest version %d, want %d",
+			rep.Manifest.Version, manifestVersion)
+	}
+	for _, name := range rep.Manifest.Files {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("flight: bundle file %s: %w", name, err)
+		}
+		if st.Size() == 0 {
+			return nil, fmt.Errorf("flight: bundle file %s is empty", name)
+		}
+	}
+
+	if hasFile(rep.Manifest.Files, EventsFile) {
+		if err := rep.checkEvents(dir); err != nil {
+			return nil, err
+		}
+	}
+	if hasFile(rep.Manifest.Files, MetricsFile) {
+		var metrics map[string]float64
+		raw, err := os.ReadFile(filepath.Join(dir, MetricsFile))
+		if err != nil {
+			return nil, fmt.Errorf("flight: %s: %w", MetricsFile, err)
+		}
+		if err := json.Unmarshal(raw, &metrics); err != nil {
+			return nil, fmt.Errorf("flight: %s does not parse: %w", MetricsFile, err)
+		}
+		rep.MetricCount = len(metrics)
+		if rep.MetricCount != rep.Manifest.MetricSamples {
+			return nil, fmt.Errorf("flight: %s holds %d samples, manifest says %d",
+				MetricsFile, rep.MetricCount, rep.Manifest.MetricSamples)
+		}
+	}
+	if hasFile(rep.Manifest.Files, TimelineFile) {
+		if err := rep.checkTimeline(dir); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+func hasFile(files []string, name string) bool {
+	for _, f := range files {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEvents parses flight.jsonl line by line and cross-checks the count
+// against the manifest.
+func (rep *BundleReport) checkEvents(dir string) error {
+	f, err := os.Open(filepath.Join(dir, EventsFile))
+	if err != nil {
+		return fmt.Errorf("flight: %s: %w", EventsFile, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Kind      string `json:"kind"`
+			UnixNanos int64  `json:"unix_nanos"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("flight: %s line %d does not parse: %w",
+				EventsFile, rep.EventLines+1, err)
+		}
+		if ev.Kind == "" || ev.Kind == "unknown" {
+			return fmt.Errorf("flight: %s line %d has no kind", EventsFile, rep.EventLines+1)
+		}
+		rep.EventLines++
+		rep.EventsByKind[ev.Kind]++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("flight: %s: %w", EventsFile, err)
+	}
+	if rep.EventLines != rep.Manifest.FlightEvents {
+		return fmt.Errorf("flight: %s holds %d events, manifest says %d",
+			EventsFile, rep.EventLines, rep.Manifest.FlightEvents)
+	}
+	return nil
+}
+
+// traceEvent is the subset of a Chrome trace event the exemplar resolution
+// needs.
+type traceEvent struct {
+	Ph   string  `json:"ph"`
+	PID  int64   `json:"pid"`
+	TID  int64   `json:"tid"`
+	Name string  `json:"name"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	// Args values are numeric on span events but strings on metadata ("M")
+	// events (process/thread names), so they stay raw until needed.
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+// numArg extracts a numeric arg value; non-numeric or absent args report
+// false.
+func (ev *traceEvent) numArg(key string) (float64, bool) {
+	raw, ok := ev.Args[key]
+	if !ok {
+		return 0, false
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// checkTimeline parses timeline.json and, when the manifest carries an
+// exemplar, resolves its (GPU, seq) to the matching batch span tree.
+func (rep *BundleReport) checkTimeline(dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, TimelineFile))
+	if err != nil {
+		return fmt.Errorf("flight: %s: %w", TimelineFile, err)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("flight: %s does not parse: %w", TimelineFile, err)
+	}
+	rep.TimelineEvents = len(doc.TraceEvents)
+
+	ex := rep.Manifest.Exemplar
+	if ex == nil {
+		return nil
+	}
+	// The root: a complete ("X") span named "batch" on the serve process,
+	// on the exemplar GPU's track, whose seq arg matches the exemplar.
+	var root *traceEvent
+	for i := range doc.TraceEvents {
+		ev := &doc.TraceEvents[i]
+		if ev.Ph != "X" || ev.Name != "batch" ||
+			ev.PID != timeline.ProcServe || ev.TID != int64(ex.GPU) {
+			continue
+		}
+		if seq, ok := ev.numArg("seq"); ok && int64(seq) == ex.Seq {
+			root = ev
+			break
+		}
+	}
+	if root == nil {
+		return fmt.Errorf("flight: exemplar batch seq=%d gpu=%d has no matching span in %s",
+			ex.Seq, ex.GPU, TimelineFile)
+	}
+	// Children: spans on the same track nested inside the root's interval.
+	rep.ExemplarSpans = 1
+	end := root.TS + root.Dur
+	for i := range doc.TraceEvents {
+		ev := &doc.TraceEvents[i]
+		if ev == root || ev.Ph != "X" ||
+			ev.PID != root.PID || ev.TID != root.TID {
+			continue
+		}
+		if ev.TS >= root.TS && ev.TS+ev.Dur <= end {
+			rep.ExemplarSpans++
+		}
+	}
+	if rep.ExemplarSpans < 2 {
+		return fmt.Errorf("flight: exemplar batch seq=%d gpu=%d resolved to a bare root span (no children) in %s",
+			ex.Seq, ex.GPU, TimelineFile)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"ugache/internal/core"
 	"ugache/internal/emb"
+	"ugache/internal/flight"
 	"ugache/internal/platform"
 	"ugache/internal/rng"
 	"ugache/internal/workload"
@@ -17,7 +18,7 @@ import (
 // batch (MaxBatchKeys 1 flushes immediately, so no MaxWait stalls).
 // Results are tracked in BENCH_hotpath.json at the repo root.
 
-func buildBenchServer(b *testing.B, n int, functional bool) *Server {
+func buildBenchServer(b *testing.B, n int, functional bool, fl *flight.Recorder) *Server {
 	b.Helper()
 	cfg := core.Config{
 		Platform:   platform.ServerA(),
@@ -37,7 +38,7 @@ func buildBenchServer(b *testing.B, n int, functional bool) *Server {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := New(sys, Config{MaxBatchKeys: 1, MaxWait: time.Millisecond})
+	srv, err := New(sys, Config{MaxBatchKeys: 1, MaxWait: time.Millisecond, Flight: fl})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func benchRequests(n int64, reqs, keysPer int, seed uint64) [][]int64 {
 // BenchmarkServeCoalescedTiming is the timing-only serve path: one request
 // per coalesced batch, no functional gather.
 func BenchmarkServeCoalescedTiming(b *testing.B) {
-	srv := buildBenchServer(b, 20000, false)
+	srv := buildBenchServer(b, 20000, false, nil)
 	reqs := benchRequests(20000, 64, 256, 11)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -75,7 +76,37 @@ func BenchmarkServeCoalescedTiming(b *testing.B) {
 // BenchmarkServeCoalescedFunctional is the full serve path: dedup,
 // simulated extraction, functional gather and per-request row fan-out.
 func BenchmarkServeCoalescedFunctional(b *testing.B) {
-	srv := buildBenchServer(b, 20000, true)
+	srv := buildBenchServer(b, 20000, true, nil)
+	reqs := benchRequests(20000, 64, 256, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Lookup(0, reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCoalescedTimingFlight is the timing path with the flight
+// recorder attached — allocs/op must match BenchmarkServeCoalescedTiming
+// (the recorder's zero-allocation contract, also pinned by
+// TestServeFlightAllocParity).
+func BenchmarkServeCoalescedTimingFlight(b *testing.B) {
+	srv := buildBenchServer(b, 20000, false, flight.NewRecorder(2, flight.DefaultDepth))
+	reqs := benchRequests(20000, 64, 256, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Lookup(0, reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCoalescedFunctionalFlight is the full serve path with the
+// flight recorder attached.
+func BenchmarkServeCoalescedFunctionalFlight(b *testing.B) {
+	srv := buildBenchServer(b, 20000, true, flight.NewRecorder(2, flight.DefaultDepth))
 	reqs := benchRequests(20000, 64, 256, 11)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"ugache/internal/cache"
 	"ugache/internal/core"
 	"ugache/internal/extract"
+	"ugache/internal/flight"
 	"ugache/internal/hashtable"
 	"ugache/internal/timeline"
 )
@@ -268,6 +270,17 @@ func (s *Server) prefetchWindow(g int, w *prefetchWindow, sc *prefetchScratch) {
 	m.prefetchWindows.Add(g, 1)
 	m.prefetchStagedKeys.Add(g, int64(len(fetch)))
 	m.prefetchSimSeconds.Add(g, simTime)
+
+	if s.fl != nil {
+		// Prefetch workers run concurrently with GPU g's serving worker, so
+		// they must not write its single-producer ring; staged windows are
+		// off the critical path and ride the mutex-guarded control ring.
+		e := flight.Event{Kind: flight.KindPrefetch, GPU: int32(g), UnixNanos: time.Now().UnixNano()}
+		e.V[flight.PrefetchAnnouncedKeys] = float64(announced)
+		e.V[flight.PrefetchFetchedKeys] = float64(len(fetch))
+		e.V[flight.PrefetchSimSeconds] = simTime
+		s.fl.RecordControl(&e)
+	}
 
 	if sc.span != nil {
 		tEnd := s.tl.Now()

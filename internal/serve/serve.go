@@ -29,6 +29,7 @@ import (
 	"ugache/internal/cache"
 	"ugache/internal/core"
 	"ugache/internal/extract"
+	"ugache/internal/flight"
 	"ugache/internal/hashtable"
 	"ugache/internal/sim"
 	"ugache/internal/telemetry"
@@ -114,6 +115,13 @@ type Config struct {
 	// as per-link utilization spans (DESIGN.md §6.3). Worker g emits into
 	// the recorder's shard g. Nil disables tracing behind one pointer check.
 	Timeline *timeline.Recorder
+	// Flight, when non-nil, receives the always-on flight-recorder events
+	// (DESIGN.md §6.8): every flushed batch (latency / tier split / prefetch
+	// hits), queue-depth samples and shed deltas at batch formation, and
+	// staged prefetch windows. Worker g records into the recorder's ring g;
+	// recording is a fixed set of atomic stores, so the flush path stays at
+	// its BENCH_hotpath.json allocation budget with flight enabled.
+	Flight *flight.Recorder
 }
 
 func (c Config) normalize() Config {
@@ -317,6 +325,7 @@ type Server struct {
 
 	tl      *timeline.Recorder
 	linkCap []float64 // topology link capacities, for utilization span args
+	fl      *flight.Recorder
 
 	// Lookahead prefetch pipeline (nil/empty when Config.Lookahead == 0).
 	// batchSeq[g] counts GPU g's flushed batches; it is the logical clock
@@ -355,6 +364,14 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	if cfg.TraceDepth > 0 {
 		s.ring = telemetry.NewTraceRing(cfg.TraceDepth)
 		s.tpb = sys.P.TimePerByteTable()
+	}
+	if cfg.Flight != nil {
+		s.fl = cfg.Flight
+		if s.tpb == nil {
+			// Flight batch events carry the per-tier time split even when the
+			// trace ring is disabled.
+			s.tpb = sys.P.TimePerByteTable()
+		}
 	}
 	if cfg.Timeline != nil {
 		// Register the serve and fluid-sim track names once at wiring time;
@@ -589,9 +606,13 @@ type workerScratch struct {
 
 	// reqs is the reusable batch-formation slice (the worker and the drain
 	// rebuild it in place every batch) and lastShed the shed count already
-	// rendered on the overload track.
+	// published to the overload track and the flight ring.
 	reqs     []*request
 	lastShed int64
+
+	// flight is this worker's flight ring (nil when flight recording is
+	// off); the worker is its only producer.
+	flight *flight.Ring
 
 	// Staging-consume buffers, used only when the prefetch pipeline is on:
 	// the per-unique-key hit mask, the residual demand keys with their
@@ -618,6 +639,9 @@ func (s *Server) newWorkerScratch(g int) *workerScratch {
 	if s.tl != nil {
 		sc.span = s.tl.Shard(g)
 		sc.core.RecordSimPhases(true)
+	}
+	if s.fl != nil {
+		sc.flight = s.fl.Ring(g)
 	}
 	return sc
 }
@@ -684,9 +708,9 @@ func (s *Server) worker(g int) {
 
 // observeQueue publishes the admission-side backpressure signals at batch
 // formation: the queue-depth gauges, the peak tracker, and — when a span
-// recorder is wired — the overload track's counter series (queued depth and
-// cumulative sheds per GPU), so saturation is visible in Perfetto alongside
-// the batch span trees.
+// recorder or flight ring is wired — the overload counter series (queued
+// depth and cumulative sheds per GPU), so saturation is visible in Perfetto
+// and survives in the flight rings alongside the batch events.
 func (s *Server) observeQueue(g int, q *gpuQueue, sc *workerScratch) {
 	depth := q.depth()
 	s.met.queueDepth.Set(float64(depth))
@@ -700,6 +724,23 @@ func (s *Server) observeQueue(g int, q *gpuQueue, sc *workerScratch) {
 		}
 		s.met.queueDepthPeak.Set(float64(max))
 	}
+	if sc.span == nil && sc.flight == nil {
+		return
+	}
+	shed := s.shed[g].Load()
+	newSheds := shed - sc.lastShed
+	sc.lastShed = shed
+	if sc.flight != nil {
+		e := flight.Event{Kind: flight.KindQueue, GPU: int32(g), UnixNanos: time.Now().UnixNano()}
+		e.V[flight.QueueDepth] = float64(depth)
+		e.V[flight.QueueShedTotal] = float64(shed)
+		sc.flight.Record(&e)
+		if newSheds > 0 {
+			e = flight.Event{Kind: flight.KindShed, GPU: int32(g), UnixNanos: e.UnixNanos}
+			e.V[flight.ShedNew] = float64(newSheds)
+			sc.flight.Record(&e)
+		}
+	}
 	if sc.span == nil {
 		return
 	}
@@ -708,17 +749,15 @@ func (s *Server) observeQueue(g int, q *gpuQueue, sc *workerScratch) {
 		PID: timeline.ProcOverload, TID: int32(g), Start: now}
 	ev.AddArg("requests", float64(depth))
 	sc.span.Emit(&ev)
-	shed := s.shed[g].Load()
 	ev2 := timeline.Event{Name: "shed_total", Cat: "overload", Ph: timeline.PhCounter,
 		PID: timeline.ProcOverload, TID: int32(g), Start: now}
 	ev2.AddArg("requests", float64(shed))
 	sc.span.Emit(&ev2)
-	if shed > sc.lastShed {
+	if newSheds > 0 {
 		inst := timeline.Event{Name: "overload-shed", Cat: "overload", Ph: timeline.PhInstant,
 			PID: timeline.ProcOverload, TID: int32(g), Start: now}
-		inst.AddArg("new_sheds", float64(shed-sc.lastShed))
+		inst.AddArg("new_sheds", float64(newSheds))
 		sc.span.Emit(&inst)
-		sc.lastShed = shed
 	}
 }
 
@@ -848,6 +887,26 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 	if s.ring != nil && sampled {
 		s.recordTrace(g, sc.seq, batch, res, requested, len(uniq), reason, queueWait, simTime, prefetchHits, staleMax)
 	}
+	// The flight batch event's tier split is read here, before the
+	// functional gather below reuses sc.core (res aliases the scratch).
+	var flLocal, flRemote, flHost float64
+	if sc.flight != nil {
+		host := int(s.sys.P.Host())
+		for j, bytes := range res.SrcBytes[g] {
+			if bytes == 0 {
+				continue
+			}
+			sec := bytes * s.tpb[g][j]
+			switch {
+			case j == host:
+				flHost += sec
+			case j == g:
+				flLocal += sec
+			default:
+				flRemote += sec
+			}
+		}
+	}
 
 	// Feed the §7.2 hotness sampler with this batch's unique keys; shard g
 	// belongs to this worker, so the observation is race-free.
@@ -895,6 +954,7 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 		outBuf = make([]byte, requested*s.entryBytes)
 	}
 	off := 0
+	maxLat := 0.0
 	for _, r := range batch {
 		out := Result{SimSeconds: simTime, BatchKeys: len(uniq)}
 		if rows != nil {
@@ -907,7 +967,11 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 			off = end
 		}
 		r.out <- out
-		s.met.latency.Observe(g, time.Since(r.enqueued).Seconds())
+		lat := time.Since(r.enqueued).Seconds()
+		if lat > maxLat {
+			maxLat = lat
+		}
+		s.met.latency.Observe(g, lat)
 	}
 
 	m := s.met
@@ -928,6 +992,23 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 		// Advance GPU g's batch clock: the staleness window of every staged
 		// row is measured against this sequence.
 		s.batchSeq[g].Add(1)
+	}
+
+	if sc.flight != nil {
+		// The event's Seq is this worker's batch sequence — the same value
+		// the timeline root span carries as its seq arg, which is what lets
+		// a bundle's exemplar resolve into the matching span tree.
+		e := flight.Event{Kind: flight.KindBatch, GPU: int32(g), Seq: sc.seq,
+			UnixNanos: time.Now().UnixNano()}
+		e.V[flight.BatchLatencySeconds] = maxLat
+		e.V[flight.BatchRequests] = float64(len(batch))
+		e.V[flight.BatchUniqueKeys] = float64(len(uniq))
+		e.V[flight.BatchPrefetchHits] = float64(prefetchHits)
+		e.V[flight.BatchSimSeconds] = simTime
+		e.V[flight.BatchLocalSeconds] = flLocal
+		e.V[flight.BatchRemoteSeconds] = flRemote
+		e.V[flight.BatchHostSeconds] = flHost
+		sc.flight.Record(&e)
 	}
 
 	if sc.span != nil {
@@ -955,6 +1036,9 @@ func (s *Server) emitFlushSpans(g int, sc *workerScratch, ft *flushTimes,
 	tid := int32(g)
 	root := timeline.Event{Name: "batch", Cat: "serve", Ph: timeline.PhSpan,
 		PID: timeline.ProcServe, TID: tid, Start: ft.enqueue, Dur: ft.replyEnd - ft.enqueue}
+	// seq keys the span tree to this worker's batch sequence — the join
+	// column flight-recorder exemplars resolve through.
+	root.AddArg("seq", float64(sc.seq))
 	root.AddArg("requests", float64(requests))
 	root.AddArg("requested_keys", float64(requested))
 	root.AddArg("unique_keys", float64(unique))

@@ -17,6 +17,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -140,11 +141,32 @@ func (h *Histogram) merged() []uint64 {
 	return out
 }
 
+// Buckets returns the histogram's upper bucket edges and a merged copy of
+// the per-bucket counts (one more count than bounds: the final entry is the
+// implicit +Inf bucket). The caller owns both slices; callers that poll —
+// the flight watchdog diffs successive merges to get windowed counts — may
+// cache the bounds, which never change after registration.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	return append([]float64(nil), h.bounds...), h.merged()
+}
+
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
 // inside the covering bucket. Samples in the +Inf bucket report the highest
 // finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
-	counts := h.merged()
+	return QuantileFromBuckets(h.bounds, h.merged(), q)
+}
+
+// QuantileFromBuckets estimates the q-quantile of an arbitrary bucket-count
+// vector over sorted upper edges (len(counts) = len(bounds)+1, the extra
+// entry being the +Inf bucket). It is Histogram.Quantile with the counts
+// supplied by the caller, so windowed quantiles can be computed from
+// bucket-count diffs between two snapshots. An empty or all-zero vector
+// reports 0; mass in the +Inf bucket reports the highest finite bound.
+func QuantileFromBuckets(bounds []float64, counts []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(counts) == 0 {
+		return 0
+	}
 	var total uint64
 	for _, c := range counts {
 		total += c
@@ -160,17 +182,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if acc < target || c == 0 {
 			continue
 		}
-		if b == len(h.bounds) { // +Inf bucket
-			return h.bounds[len(h.bounds)-1]
+		if b >= len(bounds) { // +Inf bucket
+			return bounds[len(bounds)-1]
 		}
 		lo := 0.0
 		if b > 0 {
-			lo = h.bounds[b-1]
+			lo = bounds[b-1]
 		}
 		frac := (target - prev) / float64(c)
-		return lo + frac*(h.bounds[b]-lo)
+		return lo + frac*(bounds[b]-lo)
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // ExpBuckets returns n upper bucket edges starting at lo, each factor times
@@ -225,6 +247,17 @@ func (r *Registry) lookup(name string, mk func() interface{}) interface{} {
 	r.ordered = append(r.ordered, name)
 	sort.Strings(r.ordered)
 	return m
+}
+
+// Find returns the metric registered under name (a *Counter, *FloatCounter,
+// *Gauge or *Histogram), or nil when nothing is registered yet. It never
+// creates — consumers that observe metrics owned by other subsystems (the
+// flight watchdog) use it to resolve handles lazily without fixing a
+// registration order.
+func (r *Registry) Find(name string) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byName[name]
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -355,13 +388,35 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 	return nil
 }
 
+// escapeHelp escapes a HELP string per the plain-text exposition format:
+// backslashes as \\ and newlines as \n (a literal newline would terminate
+// the comment mid-string and corrupt the scrape).
+func escapeHelp(help string) string {
+	if !strings.ContainsAny(help, "\\\n") {
+		return help
+	}
+	var b strings.Builder
+	b.Grow(len(help) + 4)
+	for _, r := range help {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 func writeScalar(w io.Writer, name, help, kind string, v float64) error {
-	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, kind, name, fmtValue(v))
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, escapeHelp(help), name, kind, name, fmtValue(v))
 	return err
 }
 
 func writeHistogram(w io.Writer, h *Histogram) error {
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, escapeHelp(h.help), h.name); err != nil {
 		return err
 	}
 	counts := h.merged()
