@@ -1,11 +1,11 @@
 GO ?= go
 
-RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/app ./internal/telemetry ./internal/timeline ./internal/flight ./internal/milp ./internal/solver ./internal/workload ./internal/baselines ./internal/bench
+RACE_PKGS = ./internal/cache ./internal/core ./internal/serve ./internal/cluster ./internal/app ./internal/telemetry ./internal/timeline ./internal/flight ./internal/milp ./internal/solver ./internal/workload ./internal/baselines ./internal/bench
 
 # Packages with testing.B microbenchmarks on the extraction hot path.
 BENCH_PKGS = ./internal/hashtable ./internal/core ./internal/serve
 
-.PHONY: check build test vet fmt race bench bench-solver bench-drift bench-prefetch bench-serve figures trace-smoke flight-smoke
+.PHONY: check build test vet fmt race bench bench-solver bench-drift bench-prefetch bench-serve bench-cluster figures trace-smoke flight-smoke
 
 check: fmt vet build test race
 
@@ -58,6 +58,13 @@ bench-prefetch:
 # (regenerates the checked-in BENCH_serve.json).
 bench-serve:
 	$(GO) run ./cmd/ugache-bench -exp serve -scale 1 -json-out BENCH_serve.json
+
+# Multi-node scale-out sweep: virtual-time offered-load curves for 1/2/4
+# machines joined by the network fabric — knee scaling vs a single machine
+# (regenerates the checked-in BENCH_cluster.json; deterministic, so the
+# output should be byte-identical up to the recorded command line).
+bench-cluster:
+	$(GO) run ./cmd/ugache-bench -exp cluster -scale 1 -json-out BENCH_cluster.json
 
 # Regenerate the paper's tables and figures (minutes at full scale).
 figures:

@@ -87,6 +87,10 @@ type options struct {
 	bundleDir   string
 	metricsOut  string
 	pprofOn     bool
+
+	nodes      int
+	netBW      float64
+	netLatency time.Duration
 }
 
 func main() {
@@ -126,6 +130,9 @@ func main() {
 	flag.StringVar(&o.bundleDir, "bundle-dir", "ugache-bundles", "directory diagnostic bundles are written under (watchdog trips, SIGQUIT, POST /debug/flight/bundle)")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the final telemetry snapshot as JSON to this file at exit")
 	flag.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the -listen address")
+	flag.IntVar(&o.nodes, "nodes", 1, "cluster mode: run N in-process nodes behind the consistent-hash router (closed-loop only)")
+	flag.Float64Var(&o.netBW, "net-bw", 25e9, "cluster inter-machine link bandwidth in bytes/s")
+	flag.DurationVar(&o.netLatency, "net-latency", 10*time.Microsecond, "cluster inter-machine one-way latency")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
@@ -177,6 +184,12 @@ func platformByName(name string) (*platform.Platform, error) {
 }
 
 func run(o options) error {
+	if o.nodes < 1 {
+		return fmt.Errorf("-nodes must be >= 1, got %d", o.nodes)
+	}
+	if o.nodes > 1 {
+		return runCluster(o)
+	}
 	// -refresh-mode post (and its -refresh shorthand) is a command-level
 	// policy: one refresh after the client loop. The in-loop policies
 	// (periodic, drift) are the controller's.
@@ -567,11 +580,12 @@ func run(o options) error {
 		}
 		return 0
 	}
-	local, remote, host := tier("core_hit_local_keys_total"),
-		tier("core_hit_remote_keys_total"), tier("core_hit_host_keys_total")
-	if sum := local + remote + host; sum > 0 {
-		fmt.Printf("hit tiers:         %.1f%% local, %.1f%% remote, %.1f%% host (of %d unique keys)\n",
-			100*local/sum, 100*remote/sum, 100*host/sum, st.UniqueKeys)
+	local, remote, host, network := tier("core_hit_local_keys_total"),
+		tier("core_hit_remote_keys_total"), tier("core_hit_host_keys_total"),
+		tier("core_hit_network_keys_total")
+	if sum := local + remote + host + network; sum > 0 {
+		fmt.Printf("hit tiers:         %.1f%% local, %.1f%% remote, %.1f%% host, %.1f%% network (of %d unique keys)\n",
+			100*local/sum, 100*remote/sum, 100*host/sum, 100*network/sum, st.UniqueKeys)
 	}
 	if o.lookahead > 0 {
 		hits := tier("serve_fill_prefetch_hit")

@@ -1,0 +1,428 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ugache/internal/cluster"
+	"ugache/internal/core"
+	"ugache/internal/extract"
+	"ugache/internal/platform"
+	"ugache/internal/stats"
+	"ugache/internal/telemetry"
+	"ugache/internal/workload"
+)
+
+func init() {
+	register("cluster", "multi-node scale-out: virtual-time offered-load sweep over 1/2/4-node clusters, knee scaling vs a single machine", clusterBench)
+}
+
+// ClusterStepReport is one offered-load step of one node-count's sweep. All
+// times are virtual (simulated) seconds, so the report is byte-identical
+// run to run regardless of host load.
+type ClusterStepReport struct {
+	Multiplier float64 `json:"multiplier"`
+	OfferedQPS float64 `json:"offered_qps"`
+	ServedQPS  float64 `json:"served_qps"`
+	Offered    int64   `json:"offered"`
+	Served     int64   `json:"served"`
+	// Shed counts arrivals dropped at a full admission queue.
+	Shed     int64   `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	// Latency percentiles in virtual milliseconds, measured from each
+	// request's intended arrival time (coordinated-omission safe).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// ClusterConfigReport is one node count's result: the solved cluster's
+// modelled service time, its tier split, and the knee of its sweep.
+type ClusterConfigReport struct {
+	Nodes   int `json:"nodes"`
+	Workers int `json:"workers"`
+	// ServiceUsPerBatch is the mean modelled extraction time of one
+	// coalesced batch (virtual microseconds), measured by running the real
+	// extractor on the solved placement with this node's ring-shard Owned
+	// predicate.
+	ServiceUsPerBatch float64 `json:"service_us_per_batch"`
+	// Key shares of the modelled tier split during calibration: network is
+	// the cross-machine wire tier (zero on the single machine).
+	LocalShare   float64 `json:"local_key_share"`
+	RemoteShare  float64 `json:"remote_key_share"`
+	HostShare    float64 `json:"host_key_share"`
+	NetworkShare float64 `json:"network_key_share"`
+	// CapacityQPS anchors the sweep multipliers: workers * batch / service.
+	CapacityQPS    float64             `json:"capacity_qps"`
+	KneeQPS        float64             `json:"knee_qps"`
+	KneeMultiplier float64             `json:"knee_multiplier"`
+	ScaleVsSingle  float64             `json:"scale_vs_single"`
+	Steps          []ClusterStepReport `json:"steps"`
+}
+
+// ClusterReport is the cluster experiment's machine-readable output
+// (BENCH_cluster.json).
+type ClusterReport struct {
+	Server            string                `json:"server"`
+	Entries           int64                 `json:"entries"`
+	GPUsPerNode       int                   `json:"gpus_per_node"`
+	KeysPerRequest    int                   `json:"keys_per_request"`
+	BatchRequests     int                   `json:"batch_requests"`
+	QueueDepth        int                   `json:"queue_depth"`
+	Arrivals          string                `json:"arrivals"`
+	NetLinkGBs        float64               `json:"net_link_gbs"`
+	NetLatencyUs      float64               `json:"net_latency_us"`
+	RequestsPerWorker int                   `json:"requests_per_worker"`
+	Configs           []ClusterConfigReport `json:"configs"`
+}
+
+// clusterScenario pins the shape of the scale-out sweep. The sweep runs in
+// virtual time: arrivals come from the deterministic open-loop generator's
+// intended timestamps, and service times come from the extraction model on
+// the solved cluster placement — never from the wall clock. On a one-core
+// host a wall-clock cluster "runs" N nodes on the same CPU and shows no
+// scaling at all; the virtual-time run measures what the modelled hardware
+// would do, reproducibly.
+type clusterScenario struct {
+	n              int64
+	gpusPerNode    int
+	nodeCounts     []int
+	keysPerRequest int
+	batchReqs      int // requests coalesced into one extraction batch
+	queueDepth     int // admission queue bound, in requests per worker
+	keyAlpha       float64
+	launchOverhead float64 // fixed per-batch kernel-launch + locate cost, seconds
+	calBatches     int     // batches used to measure the mean service time
+	reqsPerWorker  int     // arrivals per worker per sweep step
+	sweep          []float64
+	seed           uint64
+}
+
+func newClusterScenario(o Options) *clusterScenario {
+	n := int64(100_000 * o.Scale)
+	if n < 8192 {
+		n = 8192
+	}
+	sc := &clusterScenario{
+		n:              n,
+		gpusPerNode:    2,
+		nodeCounts:     []int{1, 2, 4},
+		keysPerRequest: 8,
+		batchReqs:      8,
+		queueDepth:     256,
+		keyAlpha:       1.2,
+		launchOverhead: 20e-6,
+		calBatches:     256,
+		reqsPerWorker:  12_000,
+		sweep:          []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5},
+		seed:           o.Seed,
+	}
+	if o.Quick {
+		sc.calBatches = 64
+		sc.reqsPerWorker = 3_000
+		sc.sweep = []float64{0.5, 0.9, 1.25}
+	}
+	return sc
+}
+
+// hotness matches the generator's global key popularity (key == Zipf rank).
+func (sc *clusterScenario) hotness() workload.Hotness {
+	h := make(workload.Hotness, sc.n)
+	for k := range h {
+		h[k] = math.Pow(float64(k+1), -sc.keyAlpha)
+	}
+	return h
+}
+
+// buildSystem solves one node's engine for the given node count: the
+// clustered platform (plain single machine for nodes == 1) with node 0's
+// ring-shard Owned predicate. Placements are identical on every node, so
+// node 0 stands for all of them.
+func (sc *clusterScenario) buildSystem(nodes int) (*core.System, *platform.Platform, *telemetry.Registry, error) {
+	pair := [][]float64{{0, 50e9}, {50e9, 0}}
+	cfg := platform.Config{
+		Name: "2xV100", Kind: platform.HardWired, GPU: platform.V100x16,
+		N: sc.gpusPerNode, PCIeBW: 12e9, DRAMBW: 140e9, PairBW: pair,
+	}
+	if nodes > 1 {
+		net := platform.DefaultNetwork(nodes)
+		cfg.Network = &net
+	}
+	p, err := platform.New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reg := telemetry.NewRegistry(p.N)
+	ccfg := core.Config{
+		Platform:   p,
+		Hotness:    sc.hotness(),
+		EntryBytes: 64,
+		CacheRatio: 0.1,
+		Telemetry:  reg,
+	}
+	if nodes > 1 {
+		ring := cluster.MustRing(nodes, 0, sc.seed)
+		ccfg.Owned = func(k int64) bool { return ring.Owner(k) == 0 }
+	}
+	sys, err := core.Build(ccfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, p, reg, nil
+}
+
+// measureService runs calBatches coalesced batches through the real
+// extraction model and returns the mean batch service time in virtual
+// seconds. The batches are drawn from the same open-loop generator the
+// sweep uses, so the dedup factor and tier mix match the offered stream.
+func (sc *clusterScenario) measureService(sys *core.System, p *platform.Platform) (float64, error) {
+	gen, err := workload.NewOpenLoop(workload.OpenLoopConfig{
+		QPS:            1e6, // only paces virtual timestamps; keys are rate-independent
+		Arrivals:       workload.Poisson,
+		KeysPerRequest: sc.keysPerRequest,
+		NumKeys:        sc.n,
+		KeyAlpha:       sc.keyAlpha,
+	}, sc.seed*2654435761+17)
+	if err != nil {
+		return 0, err
+	}
+	var req workload.OpenLoopRequest
+	seen := make(map[int64]struct{}, sc.batchReqs*sc.keysPerRequest)
+	total := 0.0
+	for b := 0; b < sc.calBatches; b++ {
+		clear(seen)
+		var keys []int64
+		for r := 0; r < sc.batchReqs; r++ {
+			gen.Next(&req)
+			for _, k := range req.Keys {
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+		}
+		batch := &extract.Batch{Keys: make([][]int64, p.N)}
+		batch.Keys[b%p.N] = keys
+		res, err := sys.ExtractBatch(batch)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Time
+	}
+	// The extraction model prices data movement only; a real serving batch
+	// also pays a fixed kernel-launch + locate cost. The constant is the
+	// same on every node count, so it scales capacity without touching the
+	// knee ratios.
+	return total/float64(sc.calBatches) + sc.launchOverhead, nil
+}
+
+// runClusterStep simulates one offered-load step across all workers of one
+// configuration in virtual time. Each worker is one GPU's serving loop: a
+// bounded FIFO admission queue fed by deterministic Poisson arrivals,
+// drained in coalesced batches of up to batchReqs requests, each batch
+// taking the measured service time. Arrivals that find the queue full are
+// shed. Latency is completion minus intended arrival.
+func (sc *clusterScenario) runClusterStep(workers int, mult, svcBatch float64) (ClusterStepReport, error) {
+	rep := ClusterStepReport{Multiplier: mult}
+	perWorkerQPS := mult * float64(sc.batchReqs) / svcBatch
+	var lats []float64
+	var lastArrival float64
+	for w := 0; w < workers; w++ {
+		// Worker w keeps its seed across node counts: with equal service
+		// times the per-worker process is identical, so scaling is purely
+		// the worker count.
+		gen, err := workload.NewOpenLoop(workload.OpenLoopConfig{
+			QPS:            perWorkerQPS,
+			Arrivals:       workload.Poisson,
+			KeysPerRequest: sc.keysPerRequest,
+			NumKeys:        sc.n,
+			KeyAlpha:       sc.keyAlpha,
+		}, sc.seed+uint64(w)*7919+uint64(mult*1000)*104729)
+		if err != nil {
+			return rep, err
+		}
+		var req workload.OpenLoopRequest
+		var q []float64 // arrival times of admitted, unserved requests
+		busy := 0.0     // virtual time the worker frees up
+		// drain serves every batch that can start strictly before `until`.
+		// A batch takes only requests that have already arrived by its
+		// start time — the simulated server cannot see the future.
+		drain := func(until float64) {
+			for len(q) > 0 {
+				start := math.Max(busy, q[0])
+				if start >= until {
+					return
+				}
+				b := 0
+				for b < len(q) && b < sc.batchReqs && q[b] <= start {
+					b++
+				}
+				done := start + svcBatch
+				for i := 0; i < b; i++ {
+					lats = append(lats, done-q[i])
+				}
+				rep.Served += int64(b)
+				q = q[b:]
+				busy = done
+			}
+		}
+		for i := 0; i < sc.reqsPerWorker; i++ {
+			gen.Next(&req)
+			at := req.At.Seconds()
+			drain(at)
+			rep.Offered++
+			if len(q) >= sc.queueDepth {
+				rep.Shed++
+				continue
+			}
+			q = append(q, at)
+			if at > lastArrival {
+				lastArrival = at
+			}
+		}
+		drain(math.Inf(1))
+	}
+	window := lastArrival
+	if window <= 0 {
+		window = 1
+	}
+	rep.OfferedQPS = float64(rep.Offered) / window
+	rep.ServedQPS = float64(rep.Served) / window
+	if rep.Offered > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Offered)
+	}
+	if len(lats) > 0 {
+		qs := stats.Quantiles(lats, 0.50, 0.99)
+		rep.P50Ms, rep.P99Ms = qs[0]*1e3, qs[1]*1e3
+	}
+	return rep, nil
+}
+
+// runClusterConfig solves one node count and sweeps it.
+func (sc *clusterScenario) runClusterConfig(nodes int) (ClusterConfigReport, error) {
+	rep := ClusterConfigReport{Nodes: nodes, Workers: nodes * sc.gpusPerNode}
+	sys, p, reg, err := sc.buildSystem(nodes)
+	if err != nil {
+		return rep, err
+	}
+	svcBatch, err := sc.measureService(sys, p)
+	if err != nil {
+		return rep, err
+	}
+	if svcBatch <= 0 {
+		return rep, fmt.Errorf("bench: cluster %d-node service time is %g", nodes, svcBatch)
+	}
+	rep.ServiceUsPerBatch = svcBatch * 1e6
+	local := metricValue(reg, "core_hit_local_keys_total")
+	remote := metricValue(reg, "core_hit_remote_keys_total")
+	host := metricValue(reg, "core_hit_host_keys_total")
+	network := metricValue(reg, "core_hit_network_keys_total")
+	if sum := local + remote + host + network; sum > 0 {
+		rep.LocalShare = local / sum
+		rep.RemoteShare = remote / sum
+		rep.HostShare = host / sum
+		rep.NetworkShare = network / sum
+	}
+	rep.CapacityQPS = float64(rep.Workers) * float64(sc.batchReqs) / svcBatch
+	for _, mult := range sc.sweep {
+		st, err := sc.runClusterStep(rep.Workers, mult, svcBatch)
+		if err != nil {
+			return rep, err
+		}
+		rep.Steps = append(rep.Steps, st)
+	}
+	for _, st := range rep.Steps {
+		if st.OfferedQPS > 0 && st.ServedQPS >= 0.95*st.OfferedQPS && st.OfferedQPS > rep.KneeQPS {
+			rep.KneeQPS = st.OfferedQPS
+			rep.KneeMultiplier = st.Multiplier
+		}
+	}
+	if rep.KneeQPS == 0 {
+		for _, st := range rep.Steps {
+			if st.ServedQPS > rep.KneeQPS {
+				rep.KneeQPS = st.ServedQPS
+				rep.KneeMultiplier = st.Multiplier
+			}
+		}
+	}
+	return rep, nil
+}
+
+// clusterBench is the multi-node scale-out sweep: for 1, 2 and 4 machines,
+// solve the clustered placement (fourth remote-machine source class), take
+// the extraction model's batch service time under the ring-shard Owned
+// split, and drive a deterministic virtual-time open-loop sweep to find
+// each cluster's knee. The headline is knee scaling vs the single machine:
+// near-linear, because each added machine brings its own GPUs, host shard
+// and PCIe lanes, and the 25 GB/s wire serves only the non-owned tail —
+// which the blended network column keeps no more expensive than the host
+// path it replaces.
+func clusterBench(o Options) (*Result, error) {
+	sc := newClusterScenario(o)
+	net := platform.DefaultNetwork(2)
+	report := &ClusterReport{
+		Server:            "2xV100",
+		Entries:           sc.n,
+		GPUsPerNode:       sc.gpusPerNode,
+		KeysPerRequest:    sc.keysPerRequest,
+		BatchRequests:     sc.batchReqs,
+		QueueDepth:        sc.queueDepth,
+		Arrivals:          workload.Poisson.String(),
+		NetLinkGBs:        net.LinkBW / 1e9,
+		NetLatencyUs:      net.LatencySec * 1e6,
+		RequestsPerWorker: sc.reqsPerWorker,
+	}
+	for _, nodes := range sc.nodeCounts {
+		cfg, err := sc.runClusterConfig(nodes)
+		if err != nil {
+			return nil, err
+		}
+		report.Configs = append(report.Configs, cfg)
+	}
+	sort.Slice(report.Configs, func(i, j int) bool { return report.Configs[i].Nodes < report.Configs[j].Nodes })
+	single := report.Configs[0].KneeQPS
+	for i := range report.Configs {
+		if single > 0 {
+			report.Configs[i].ScaleVsSingle = report.Configs[i].KneeQPS / single
+		}
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Cluster: virtual-time scale-out sweep, %d entries, %d-GPU nodes, wire %.0f GB/s",
+			sc.n, sc.gpusPerNode, report.NetLinkGBs),
+		"nodes", "workers", "svc(us/batch)", "net keys", "capacity qps", "knee qps", "knee(x)", "scale")
+	for _, c := range report.Configs {
+		t.AddRow(fmt.Sprintf("%d", c.Nodes),
+			fmt.Sprintf("%d", c.Workers),
+			fmt.Sprintf("%.2f", c.ServiceUsPerBatch),
+			fmtPct(c.NetworkShare),
+			fmt.Sprintf("%.0f", c.CapacityQPS),
+			fmt.Sprintf("%.0f", c.KneeQPS),
+			fmt.Sprintf("%.2f", c.KneeMultiplier),
+			fmt.Sprintf("%.2fx", c.ScaleVsSingle))
+	}
+	text := t.String()
+	for _, c := range report.Configs {
+		st := stats.NewTable(
+			fmt.Sprintf("Cluster %d-node offered-load steps", c.Nodes),
+			"offered(x)", "offered qps", "served qps", "shed", "shed%", "p50(ms)", "p99(ms)")
+		for _, s := range c.Steps {
+			st.AddRow(fmt.Sprintf("%.2f", s.Multiplier),
+				fmt.Sprintf("%.0f", s.OfferedQPS),
+				fmt.Sprintf("%.0f", s.ServedQPS),
+				fmt.Sprintf("%d", s.Shed),
+				fmtPct(s.ShedRate),
+				fmt.Sprintf("%.4f", s.P50Ms),
+				fmt.Sprintf("%.4f", s.P99Ms))
+		}
+		text += "\n" + st.String()
+	}
+	text += "\nThe sweep runs in virtual time: arrivals are the open-loop generator's intended\n" +
+		"timestamps and service times come from the extraction model on the solved cluster\n" +
+		"placement, so the curve measures the modelled hardware, not this host's core count.\n" +
+		"Scaling is near-linear because each machine adds GPUs, a host shard and PCIe lanes;\n" +
+		"only the non-owned tail crosses the wire, and the blended network column admits it\n" +
+		"exactly when it is no slower than the host path it replaces.\n"
+	return &Result{Name: "cluster", Text: text, JSON: report}, nil
+}

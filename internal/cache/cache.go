@@ -256,7 +256,11 @@ func (sn *snapshot) locate(p *platform.Platform, dst int, key int64) (src platfo
 		return 0, loc, fmt.Errorf("cache: key %d out of range", key)
 	}
 	src = sn.placement.SourceOf(dst, key)
-	if src == p.Host() {
+	// Host and the cluster's network tier both resolve outside the GPU
+	// caches: the row is read from the backing source (on a cluster the
+	// owning machine's host shard holds the same immutable bytes; the wire
+	// move is costed by the extraction model, not the functional path).
+	if src == p.Host() || (p.HasNetwork() && src == p.Network()) {
 		return src, loc, nil
 	}
 	l, ok := sn.caches[src].Table.Lookup(key)

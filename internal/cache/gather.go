@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ugache/internal/hashtable"
+	"ugache/internal/platform"
 )
 
 // GatherScratch holds the reusable buffers of one GatherWith call: the
@@ -90,7 +91,7 @@ func (s *System) GatherWith(dst int, keys []int64, out []byte, sc *GatherScratch
 				return err
 			}
 			row := out[i*eb : (i+1)*eb]
-			if src == s.P.Host() {
+			if src == s.P.Host() || (s.P.HasNetwork() && src == s.P.Network()) {
 				if err := s.source.ReadRow(key, row); err != nil {
 					return err
 				}
@@ -115,16 +116,21 @@ func (s *System) GatherWith(dst int, keys []int64, out []byte, sc *GatherScratch
 	n := pl.NumEntries()
 	eb := s.EntryBytes
 	host := s.P.Host()
+	network := platform.SourceID(-1)
+	if s.P.HasNetwork() {
+		network = s.P.Network()
+	}
 
-	// Pass 1: classify by source. Host rows are served straight from the
-	// backing source; GPU rows are grouped for the batched probe.
+	// Pass 1: classify by source. Host (and, on clusters, network-tier)
+	// rows are served straight from the backing source; GPU rows are
+	// grouped for the batched probe.
 	sc.reset(len(sn.caches))
 	for i, key := range keys {
 		if key < 0 || key >= n {
 			return fmt.Errorf("cache: key %d out of range", key)
 		}
 		src := pl.SourceOf(dst, key)
-		if src == host {
+		if src == host || src == network {
 			if err := s.source.ReadRow(key, out[i*eb:(i+1)*eb]); err != nil {
 				return err
 			}

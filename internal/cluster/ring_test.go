@@ -1,0 +1,123 @@
+package cluster
+
+import "testing"
+
+// TestRingDeterministic: two rings built with identical parameters answer
+// identically for every key — there is no hidden global state.
+func TestRingDeterministic(t *testing.T) {
+	a := MustRing(5, 0, 42)
+	b := MustRing(5, 0, 42)
+	for k := int64(0); k < 50_000; k++ {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owner %d vs %d across identical rings", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingGolden pins the shard assignment for a fixed seed. Any change to
+// the hash functions, the point layout, or the tie-break silently reshuffles
+// every deployed shard map; this test makes that a loud diff instead.
+func TestRingGolden(t *testing.T) {
+	r := MustRing(4, 0, 0xC0FFEE)
+	want := []int{
+		2, 0, 0, 3, 1, 3, 2, 0, 1, 3, 3, 3, 0, 2, 2, 0,
+		0, 3, 3, 1, 3, 3, 0, 3, 1, 3, 2, 1, 1, 2, 3, 2,
+	}
+	for k, w := range want {
+		if got := r.Owner(int64(k)); got != w {
+			t.Fatalf("golden drift: Owner(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVnodes the shard sizes stay within a modest
+// factor of the mean (the reason for vnodes in the first place).
+func TestRingBalance(t *testing.T) {
+	const keys = 100_000
+	for _, n := range []int{2, 4, 8} {
+		r := MustRing(n, 0, 7)
+		counts := make([]int, n)
+		for k := int64(0); k < keys; k++ {
+			counts[r.Owner(k)]++
+		}
+		mean := float64(keys) / float64(n)
+		for node, c := range counts {
+			if ratio := float64(c) / mean; ratio < 0.7 || ratio > 1.3 {
+				t.Fatalf("n=%d node %d holds %d keys (%.2f× mean)", n, node, c, ratio)
+			}
+		}
+	}
+}
+
+// TestRingBoundedMovement: growing the ring from n to n+1 nodes moves at
+// most ~K/(n+1) keys (the consistent-hashing contract), and every moved key
+// moves TO the new node — surviving shards never trade keys among
+// themselves. Removal is the mirror image by symmetry (same point set).
+func TestRingBoundedMovement(t *testing.T) {
+	const keys = 200_000
+	for _, n := range []int{2, 4, 8} {
+		old := MustRing(n, 0, 99)
+		grown := MustRing(n+1, 0, 99)
+		moved := 0
+		for k := int64(0); k < keys; k++ {
+			was, is := old.Owner(k), grown.Owner(k)
+			if was == is {
+				continue
+			}
+			if is != n {
+				t.Fatalf("n=%d→%d: key %d moved %d→%d, not to the new node", n, n+1, k, was, is)
+			}
+			moved++
+		}
+		// Expected movement is keys/(n+1); allow 30% slack for vnode
+		// placement variance.
+		bound := int(1.3 * float64(keys) / float64(n+1))
+		if moved > bound {
+			t.Fatalf("n=%d→%d: moved %d keys, bound %d", n, n+1, moved, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d→%d: no keys moved to the new node", n, n+1)
+		}
+	}
+}
+
+// TestRingSplit: the local predicate overrides ring ownership, everything
+// else lands on its owner, and the scratch slices are reused.
+func TestRingSplit(t *testing.T) {
+	r := MustRing(4, 0, 0xC0FFEE)
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	local := func(k int64) bool { return k%3 == 0 }
+	subs := r.Split(1, keys, local, nil)
+	if len(subs) != 4 {
+		t.Fatalf("Split returned %d sub-batches, want 4", len(subs))
+	}
+	total := 0
+	for node, sub := range subs {
+		total += len(sub)
+		for _, k := range sub {
+			switch {
+			case local(k):
+				if node != 1 {
+					t.Fatalf("local key %d routed to node %d, not self", k, node)
+				}
+			case r.Owner(k) != node:
+				t.Fatalf("key %d on node %d, owner is %d", k, node, r.Owner(k))
+			}
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("Split kept %d of %d keys", total, len(keys))
+	}
+	// Reuse: the returned scratch must be accepted and refilled in place.
+	again := r.Split(1, keys[:100], nil, subs)
+	total = 0
+	for _, sub := range again {
+		total += len(sub)
+	}
+	if total != 100 {
+		t.Fatalf("reused Split kept %d of 100 keys", total)
+	}
+}

@@ -1,0 +1,527 @@
+// The cluster front end: a consistent-hash request router over N
+// single-machine serving nodes. A lookup arrives at one node, splits into a
+// local sub-lookup (keys the arrival node can serve from its own tiers) and
+// per-peer sub-lookups (network-class keys owned by another machine's host
+// shard), coalesces the cross-node legs per destination so many requests
+// ride one wire dispatch, and reassembles the scattered results under a
+// per-node deadline — a missing leg fails partial instead of stalling the
+// whole lookup (DESIGN.md §6.9).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ugache/internal/core"
+	"ugache/internal/flight"
+	"ugache/internal/serve"
+	"ugache/internal/telemetry"
+	"ugache/internal/timeline"
+)
+
+// ErrPartial marks a lookup whose cross-node legs did not all return before
+// the per-node deadline: the result carries every row that did arrive and
+// counts the rest in Missing. Partial results are a first-class serving
+// state under node slowness, not a fault — callers retry the missing keys
+// or degrade.
+var ErrPartial = errors.New("cluster: partial result, sub-lookup deadline expired")
+
+// ErrClosed is returned by lookups that reach a closed front end.
+var ErrClosed = errors.New("cluster: front closed")
+
+// Node couples one machine's engine and serving front: the System solved on
+// the clustered platform (network tier enabled, Owned predicate set to this
+// node's ring shard) and the Server coalescing its local batches.
+type Node struct {
+	Sys *core.System
+	Srv *serve.Server
+}
+
+// FrontConfig tunes the router.
+type FrontConfig struct {
+	// Seed keys the hash ring (both vnode points and key hashes); every
+	// node of a deployment must use the same seed.
+	Seed uint64
+	// Vnodes is the ring's virtual-node count per node (0 = DefaultVnodes).
+	Vnodes int
+	// MaxSubKeys flushes a per-peer coalescing queue once this many keys are
+	// pending for that destination (default 4096).
+	MaxSubKeys int
+	// MaxWait flushes a non-empty per-peer queue after this long even if it
+	// is not full (default 200µs) — the wire-amortization knob: one
+	// dispatch's RTT is shared by every sub-lookup coalesced into it.
+	MaxWait time.Duration
+	// Deadline bounds how long a lookup waits for its cross-node legs
+	// (default 50ms). An expired leg fails partial (ErrPartial) rather than
+	// stalling the caller behind a slow peer.
+	Deadline time.Duration
+	// Telemetry receives the router's metrics (cross-node key/byte totals,
+	// dispatch counts, queue depths, partial-failure counters). Nil creates
+	// a private registry.
+	Telemetry *telemetry.Registry
+	// Timeline, when non-nil, records per-node router tracks (ProcRouter):
+	// dispatch spans and queue-depth counter series, one tid per node.
+	Timeline *timeline.Recorder
+	// Flight, when non-nil, receives one control-plane queue sample per
+	// dispatch formation (Kind=queue, GPU=origin node, Seq=destination
+	// node), so the watchdog's bundles show router backlog next to the
+	// per-GPU admission samples.
+	Flight *flight.Recorder
+}
+
+func (c FrontConfig) normalize() FrontConfig {
+	if c.MaxSubKeys <= 0 {
+		c.MaxSubKeys = 4096
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 200 * time.Microsecond
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Result is what one cluster lookup gets back.
+type Result struct {
+	// Rows holds len(keys) rows in functional mode (row i belongs to keys[i]);
+	// rows of keys lost to an expired leg stay zero. Nil in timing-only mode.
+	Rows []byte
+	// SimSeconds is the modelled critical path: the local leg's simulated
+	// extraction time or the slowest remote leg (its batch extraction plus
+	// one wire round trip), whichever is longer.
+	SimSeconds float64
+	// LocalKeys and RemoteKeys split the lookup's keys by serving side.
+	LocalKeys, RemoteKeys int
+	// Missing counts keys whose leg missed the deadline or failed.
+	Missing int
+	// Err is ErrPartial when Missing > 0, or the first hard error.
+	Err error
+}
+
+// metrics is the router's telemetry bundle, sharded by origin node.
+type routerMetrics struct {
+	lookups        *telemetry.Counter
+	localKeys      *telemetry.Counter
+	remoteKeys     *telemetry.Counter
+	crossBytes     *telemetry.Counter
+	dispatches     *telemetry.Counter
+	dispatchKeys   *telemetry.Counter
+	partials       *telemetry.Counter
+	missingKeys    *telemetry.Counter
+	queueDepth     *telemetry.Gauge
+	queueDepthPeak *telemetry.Gauge
+}
+
+func newRouterMetrics(reg *telemetry.Registry) *routerMetrics {
+	return &routerMetrics{
+		lookups:        reg.Counter("cluster_lookups_total", "cluster lookups routed"),
+		localKeys:      reg.Counter("cluster_local_keys_total", "keys served on their arrival node"),
+		remoteKeys:     reg.Counter("cluster_remote_keys_total", "keys routed to a peer node's host shard"),
+		crossBytes:     reg.Counter("cluster_cross_node_bytes_total", "embedding bytes moved between nodes"),
+		dispatches:     reg.Counter("cluster_dispatches_total", "coalesced cross-node dispatches sent"),
+		dispatchKeys:   reg.Counter("cluster_dispatch_keys_total", "keys carried by cross-node dispatches"),
+		partials:       reg.Counter("cluster_partial_lookups_total", "lookups that returned partial on an expired leg"),
+		missingKeys:    reg.Counter("cluster_missing_keys_total", "keys lost to expired or failed legs"),
+		queueDepth:     reg.Gauge("cluster_router_queue_depth_last", "pending keys observed at the last dispatch formation"),
+		queueDepthPeak: reg.Gauge("cluster_router_queue_depth_peak", "peak pending keys observed at any dispatch formation"),
+	}
+}
+
+// subCall is one origin lookup's share of a coalesced cross-node dispatch.
+type subCall struct {
+	keys []int64
+	idx  []int // positions of keys in the caller's key slice
+	done chan subResult
+}
+
+type subResult struct {
+	rows []byte // this sub's rows, aligned with subCall.keys; nil timing-only
+	sim  float64
+	err  error
+}
+
+// dispatcher coalesces one origin node's sub-lookups toward one destination
+// node: queued calls flush as a single Handle on the destination's server
+// once MaxSubKeys are pending or MaxWait after the first arrival — so the
+// wire round trip and the destination's batch formation are paid once per
+// dispatch, not once per request.
+type dispatcher struct {
+	f            *Front
+	origin, dest int
+	calls        chan *subCall
+	rr           atomic.Int64 // round-robin GPU pick on the destination
+}
+
+func (d *dispatcher) run() {
+	defer d.f.wg.Done()
+	cfg := d.f.cfg
+	var pending []*subCall
+	var pendingKeys int
+	var timer *time.Timer
+	var expire <-chan time.Time
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		keys := pendingKeys
+		pending, pendingKeys = nil, 0
+		if timer != nil {
+			timer.Stop()
+			timer, expire = nil, nil
+		}
+		d.f.observeDispatch(d.origin, d.dest, keys)
+		d.f.wg.Add(1)
+		go d.send(batch, keys)
+	}
+	for {
+		select {
+		case c, ok := <-d.calls:
+			if !ok {
+				flush()
+				return
+			}
+			pending = append(pending, c)
+			pendingKeys += len(c.keys)
+			if pendingKeys >= cfg.MaxSubKeys {
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(cfg.MaxWait)
+				expire = timer.C
+			}
+		case <-expire:
+			timer, expire = nil, nil
+			flush()
+		}
+	}
+}
+
+// send performs one coalesced dispatch and scatters the destination's reply
+// back to the coalesced callers.
+func (d *dispatcher) send(batch []*subCall, keys int) {
+	defer d.f.wg.Done()
+	all := make([]int64, 0, keys)
+	for _, c := range batch {
+		all = append(all, c.keys...)
+	}
+	dst := d.f.nodes[d.dest]
+	g := int(d.rr.Add(1)-1) % dst.Sys.P.N
+	start := time.Now()
+	res := <-dst.Srv.Handle(g, all)
+	if d.f.tl != nil {
+		sh := d.f.tl.Shard(d.origin % d.f.tl.Shards())
+		ev := timeline.Event{Name: "dispatch", Cat: "router", Ph: timeline.PhSpan,
+			PID: timeline.ProcRouter, TID: int32(d.origin),
+			Start: d.f.tl.Since(start), Dur: time.Since(start).Seconds()}
+		ev.AddArg("dest", float64(d.dest))
+		ev.AddArg("keys", float64(keys))
+		ev.AddArg("requests", float64(len(batch)))
+		sh.Emit(&ev)
+	}
+	sim := res.SimSeconds + d.f.rtt
+	eb := d.f.entryBytes
+	d.f.met.crossBytes.Add(d.origin, int64(keys)*int64(eb))
+	off := 0
+	for _, c := range batch {
+		sub := subResult{sim: sim, err: res.Err}
+		if res.Err == nil && res.Rows != nil {
+			sub.rows = res.Rows[off*eb : (off+len(c.keys))*eb]
+		}
+		off += len(c.keys)
+		c.done <- sub
+	}
+}
+
+// Front is the sharded serving front end: the hash ring plus one dispatcher
+// per (origin, destination) node pair.
+type Front struct {
+	cfg        FrontConfig
+	ring       *Ring
+	nodes      []*Node
+	out        [][]*dispatcher // out[origin][dest], nil on the diagonal
+	met        *routerMetrics
+	tel        *telemetry.Registry
+	tl         *timeline.Recorder
+	fl         *flight.Recorder
+	entryBytes int
+	rtt        float64 // one modelled wire round trip, seconds
+	netSrc     int     // the platform's network SourceID as int
+
+	// closeMu fences Lookup's dispatcher sends against Close: sends happen
+	// under the read lock after checking closed, Close closes the channels
+	// under the write lock, so a send can never race a close.
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+	peak    atomic.Int64
+}
+
+// NewFront builds the router over the given nodes. Every node must serve
+// the same clustered platform shape (same Machines count as len(nodes)).
+// The front owns its dispatchers but not the nodes: Close stops routing,
+// the caller closes each node's Server.
+func NewFront(nodes []*Node, cfg FrontConfig) (*Front, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	for i, n := range nodes {
+		if n == nil || n.Sys == nil || n.Srv == nil {
+			return nil, fmt.Errorf("cluster: node %d incomplete", i)
+		}
+		if !n.Sys.P.HasNetwork() {
+			return nil, fmt.Errorf("cluster: node %d platform has no network tier", i)
+		}
+		if m := n.Sys.P.Machines(); m != len(nodes) {
+			return nil, fmt.Errorf("cluster: node %d platform models %d machines, front has %d", i, m, len(nodes))
+		}
+	}
+	cfg = cfg.normalize()
+	ring, err := NewRing(len(nodes), cfg.Vnodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry(len(nodes))
+	}
+	p := nodes[0].Sys.P
+	f := &Front{
+		cfg:        cfg,
+		ring:       ring,
+		nodes:      nodes,
+		met:        newRouterMetrics(reg),
+		tel:        reg,
+		tl:         cfg.Timeline,
+		fl:         cfg.Flight,
+		entryBytes: nodes[0].Sys.Cache.EntryBytes,
+		rtt:        2 * p.Net.LatencySec,
+		netSrc:     int(p.Network()),
+	}
+	if f.tl != nil {
+		f.tl.SetProcessName(timeline.ProcRouter, "router")
+		for i := range nodes {
+			f.tl.SetThreadName(timeline.ProcRouter, int32(i), fmt.Sprintf("node %d router", i))
+		}
+	}
+	f.out = make([][]*dispatcher, len(nodes))
+	for o := range nodes {
+		f.out[o] = make([]*dispatcher, len(nodes))
+		for dst := range nodes {
+			if dst == o {
+				continue
+			}
+			d := &dispatcher{f: f, origin: o, dest: dst,
+				calls: make(chan *subCall, 4*len(nodes))}
+			f.out[o][dst] = d
+			f.wg.Add(1)
+			go d.run()
+		}
+	}
+	return f, nil
+}
+
+// Ring exposes the front's hash ring (shard-ownership queries, Owned
+// predicates for the nodes' engines).
+func (f *Front) Ring() *Ring { return f.ring }
+
+// Metrics returns the router's telemetry registry.
+func (f *Front) Metrics() *telemetry.Registry { return f.tel }
+
+// observeDispatch records one dispatch formation across telemetry, the
+// timeline counter track, and the flight recorder's control ring.
+func (f *Front) observeDispatch(origin, dest, keys int) {
+	f.met.dispatches.Add(origin, 1)
+	f.met.dispatchKeys.Add(origin, int64(keys))
+	f.met.queueDepth.Set(float64(keys))
+	for {
+		old := f.peak.Load()
+		if int64(keys) <= old {
+			break
+		}
+		if f.peak.CompareAndSwap(old, int64(keys)) {
+			f.met.queueDepthPeak.Set(float64(keys))
+			break
+		}
+	}
+	if f.tl != nil {
+		sh := f.tl.Shard(origin % f.tl.Shards())
+		ev := timeline.Event{Name: "router-queue", Cat: "router", Ph: timeline.PhCounter,
+			PID: timeline.ProcRouter, TID: int32(origin), Start: f.tl.Now()}
+		ev.AddArg("pending_keys", float64(keys))
+		sh.Emit(&ev)
+	}
+	if f.fl != nil {
+		e := flight.Event{Kind: flight.KindQueue, GPU: int32(origin),
+			Seq: int64(dest), UnixNanos: time.Now().UnixNano()}
+		e.V[flight.QueueDepth] = float64(keys)
+		f.fl.RecordControl(&e)
+	}
+}
+
+// Lookup routes one request that arrived at node for GPU gpu: keys the
+// arrival node can serve from its own tiers (anything the placement does not
+// classify as network, plus network-class keys this node's host shard owns)
+// go to the local server; the rest scatter to their ring owners through the
+// coalescing dispatchers and gather back under the deadline.
+func (f *Front) Lookup(node, gpu int, keys []int64) Result {
+	if node < 0 || node >= len(f.nodes) {
+		return Result{Err: fmt.Errorf("cluster: bad node %d", node)}
+	}
+	n := f.nodes[node]
+	pl := n.Sys.Placement()
+	// Split by serving side, preserving each key's caller position for the
+	// gather.
+	var localKeys []int64
+	var localIdx []int
+	var remote map[int]*subCall
+	for i, k := range keys {
+		local := int(pl.SourceOf(gpu, k)) != f.netSrc
+		owner := node
+		if !local {
+			owner = f.ring.Owner(k)
+			local = owner == node
+		}
+		if local {
+			localKeys = append(localKeys, k)
+			localIdx = append(localIdx, i)
+			continue
+		}
+		if remote == nil {
+			remote = make(map[int]*subCall, len(f.nodes)-1)
+		}
+		c := remote[owner]
+		if c == nil {
+			c = &subCall{done: make(chan subResult, 1)}
+			remote[owner] = c
+		}
+		c.keys = append(c.keys, k)
+		c.idx = append(c.idx, i)
+	}
+	f.met.lookups.Add(node, 1)
+	f.met.localKeys.Add(node, int64(len(localKeys)))
+	f.met.remoteKeys.Add(node, int64(len(keys)-len(localKeys)))
+
+	// Scatter: remote legs first (they ride the coalescers), then the local
+	// leg on this node's own server. The read lock fences the channel sends
+	// against Close.
+	if remote != nil {
+		f.closeMu.RLock()
+		if f.closed {
+			f.closeMu.RUnlock()
+			return Result{Err: ErrClosed}
+		}
+		for owner, c := range remote {
+			f.out[node][owner].calls <- c
+		}
+		f.closeMu.RUnlock()
+	}
+	var localCh <-chan serve.Result
+	if len(localKeys) > 0 {
+		localCh = n.Srv.Handle(gpu, localKeys)
+	}
+
+	out := Result{LocalKeys: len(localKeys), RemoteKeys: len(keys) - len(localKeys)}
+	eb := f.entryBytes
+	var rows []byte
+	scatterRows := func(sub []byte, idx []int) {
+		if sub == nil {
+			return
+		}
+		if rows == nil {
+			rows = make([]byte, len(keys)*eb)
+		}
+		for j, i := range idx {
+			copy(rows[i*eb:(i+1)*eb], sub[j*eb:(j+1)*eb])
+		}
+	}
+
+	// Gather under the per-node deadline: the local leg is waited on
+	// unconditionally (its server's own admission bounds it); each remote
+	// leg that has not answered when the deadline fires is counted missing,
+	// never awaited.
+	if localCh != nil {
+		res := <-localCh
+		if res.Err != nil {
+			out.Missing += len(localKeys)
+			if out.Err == nil {
+				out.Err = res.Err
+			}
+		} else {
+			if res.SimSeconds > out.SimSeconds {
+				out.SimSeconds = res.SimSeconds
+			}
+			scatterRows(res.Rows, localIdx)
+		}
+	}
+	if remote != nil {
+		deadline := time.NewTimer(f.cfg.Deadline)
+		defer deadline.Stop()
+		expired := false
+		for _, c := range remote {
+			if expired {
+				select {
+				case sub := <-c.done:
+					f.gatherLeg(&out, sub, c, scatterRows)
+				default:
+					out.Missing += len(c.keys)
+				}
+				continue
+			}
+			select {
+			case sub := <-c.done:
+				f.gatherLeg(&out, sub, c, scatterRows)
+			case <-deadline.C:
+				expired = true
+				out.Missing += len(c.keys)
+			}
+		}
+	}
+	if out.Missing > 0 {
+		f.met.partials.Add(node, 1)
+		f.met.missingKeys.Add(node, int64(out.Missing))
+		if out.Err == nil {
+			out.Err = ErrPartial
+		}
+	}
+	out.Rows = rows
+	return out
+}
+
+func (f *Front) gatherLeg(out *Result, sub subResult, c *subCall, scatter func([]byte, []int)) {
+	if sub.err != nil {
+		out.Missing += len(c.keys)
+		if out.Err == nil {
+			out.Err = sub.err
+		}
+		return
+	}
+	if sub.sim > out.SimSeconds {
+		out.SimSeconds = sub.sim
+	}
+	scatter(sub.rows, c.idx)
+}
+
+// Close stops the dispatchers after flushing their queues. In-flight
+// lookups complete; new ones get ErrClosed. The nodes' servers stay up —
+// the caller owns them.
+func (f *Front) Close() {
+	f.closeMu.Lock()
+	if f.closed {
+		f.closeMu.Unlock()
+		return
+	}
+	f.closed = true
+	f.closeMu.Unlock()
+	for _, row := range f.out {
+		for _, d := range row {
+			if d != nil {
+				close(d.calls)
+			}
+		}
+	}
+	f.wg.Wait()
+}

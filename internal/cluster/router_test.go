@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"ugache/internal/core"
+	"ugache/internal/emb"
+	"ugache/internal/platform"
+	"ugache/internal/rng"
+	"ugache/internal/serve"
+	"ugache/internal/workload"
+)
+
+// buildFront assembles an in-process N-node cluster: each node solves the
+// same clustered platform with its own ring-shard Owned predicate, serves
+// it behind a serve.Server, and the Front routes across them. Returns the
+// front, the shared backing table, and a cleanup.
+func buildFront(t *testing.T, nodes, entries int, cfg FrontConfig) (*Front, *emb.Table) {
+	t.Helper()
+	table, err := emb.NewMaterialized("t", int64(entries), 8, emb.Float32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Owned predicates need the ring before the Front exists; rings are
+	// deterministic in (n, vnodes, seed), so building a twin is exact.
+	ring := MustRing(nodes, cfg.Vnodes, cfg.Seed)
+	pair := [][]float64{{0, 50e9}, {50e9, 0}}
+	net := platform.DefaultNetwork(nodes)
+	r := rng.New(11)
+	perm := r.Perm(entries)
+	h := make(workload.Hotness, entries)
+	for rank := 0; rank < entries; rank++ {
+		h[perm[rank]] = math.Pow(float64(rank+1), -1.1)
+	}
+	ns := make([]*Node, nodes)
+	for i := 0; i < nodes; i++ {
+		p, err := platform.New(platform.Config{
+			Name: "2xV100", Kind: platform.HardWired, GPU: platform.V100x16, N: 2,
+			PCIeBW: 12e9, DRAMBW: 140e9, PairBW: pair, Network: &net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		self := i
+		sys, err := core.Build(core.Config{
+			Platform:   p,
+			Hotness:    h,
+			EntryBytes: table.EntryBytes(),
+			CacheRatio: 0.1,
+			Source:     table,
+			Owned:      func(k int64) bool { return ring.Owner(k) == self },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.New(sys, serve.Config{MaxWait: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns[i] = &Node{Sys: sys, Srv: srv}
+	}
+	f, err := NewFront(ns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		f.Close()
+		for _, n := range ns {
+			n.Srv.Close()
+		}
+	})
+	return f, table
+}
+
+// TestFrontFunctionalRoundTrip: rows routed across the cluster are byte-
+// identical to the backing table, and cross-node traffic actually happened.
+func TestFrontFunctionalRoundTrip(t *testing.T) {
+	const entries = 3000
+	f, table := buildFront(t, 2, entries, FrontConfig{Seed: 1, MaxWait: 100 * time.Microsecond})
+	eb := table.EntryBytes()
+	z, _ := workload.NewZipf(entries, 1.05)
+	r := rng.New(3)
+	want := make([]byte, eb)
+	for iter := 0; iter < 20; iter++ {
+		keys := make([]int64, 64)
+		for j := range keys {
+			keys[j] = z.Sample(r)
+		}
+		node := iter % 2
+		res := f.Lookup(node, iter%2, keys)
+		if res.Err != nil {
+			t.Fatalf("iter %d: %v", iter, res.Err)
+		}
+		if res.Missing != 0 {
+			t.Fatalf("iter %d: %d missing without a deadline squeeze", iter, res.Missing)
+		}
+		if res.SimSeconds <= 0 {
+			t.Fatalf("iter %d: sim %g", iter, res.SimSeconds)
+		}
+		if res.LocalKeys+res.RemoteKeys != len(keys) {
+			t.Fatalf("iter %d: split %d+%d != %d", iter, res.LocalKeys, res.RemoteKeys, len(keys))
+		}
+		for j, k := range keys {
+			if err := table.ReadRow(k, want); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(res.Rows[j*eb:(j+1)*eb], want) {
+				t.Fatalf("iter %d key %d: row mismatch", iter, k)
+			}
+		}
+	}
+	if f.met.remoteKeys.Value() == 0 {
+		t.Fatal("no cross-node keys: routing test is vacuous")
+	}
+	if f.met.crossBytes.Value() == 0 || f.met.dispatches.Value() == 0 {
+		t.Fatal("cross-node byte/dispatch counters did not move")
+	}
+}
+
+// TestFrontCoalescing: concurrent lookups from one node toward the same
+// peer share dispatches — the wire is paid per coalesced batch, not per
+// lookup.
+func TestFrontCoalescing(t *testing.T) {
+	const entries = 3000
+	f, _ := buildFront(t, 2, entries, FrontConfig{Seed: 1, MaxWait: 2 * time.Millisecond})
+	const clients = 16
+	var wg sync.WaitGroup
+	var remoteLegs int64
+	var mu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			z, _ := workload.NewZipf(entries, 1.05)
+			r := rng.New(uint64(c + 1))
+			keys := make([]int64, 48)
+			for j := range keys {
+				keys[j] = z.Sample(r)
+			}
+			res := f.Lookup(0, 0, keys)
+			if res.Err != nil {
+				t.Error(res.Err)
+				return
+			}
+			if res.RemoteKeys > 0 {
+				mu.Lock()
+				remoteLegs++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if remoteLegs < 2 {
+		t.Skip("workload produced <2 remote legs; nothing to coalesce")
+	}
+	if d := f.met.dispatches.Value(); d >= remoteLegs {
+		t.Fatalf("%d dispatches for %d remote legs: no coalescing", d, remoteLegs)
+	}
+}
+
+// TestFrontPartialDeadline: a deadline shorter than the coalescing window
+// fails the remote leg partial — local rows still arrive, missing keys are
+// counted, and the front keeps serving afterwards.
+func TestFrontPartialDeadline(t *testing.T) {
+	const entries = 3000
+	f, table := buildFront(t, 2, entries, FrontConfig{
+		Seed: 1, MaxWait: 20 * time.Millisecond, Deadline: time.Nanosecond,
+	})
+	eb := table.EntryBytes()
+	z, _ := workload.NewZipf(entries, 1.05)
+	r := rng.New(5)
+	var keys []int64
+	for len(keys) < 256 {
+		keys = append(keys, z.Sample(r))
+	}
+	res := f.Lookup(0, 0, keys)
+	if res.RemoteKeys == 0 {
+		t.Skip("workload produced no remote keys")
+	}
+	if res.Err != ErrPartial {
+		t.Fatalf("err %v, want ErrPartial", res.Err)
+	}
+	if res.Missing == 0 || res.Missing > res.RemoteKeys {
+		t.Fatalf("missing %d of %d remote keys", res.Missing, res.RemoteKeys)
+	}
+	if f.met.partials.Value() == 0 || f.met.missingKeys.Value() == 0 {
+		t.Fatal("partial-failure counters did not move")
+	}
+	// Local rows must still be present and correct.
+	want := make([]byte, eb)
+	checked := 0
+	for j, k := range keys {
+		if int(f.nodes[0].Sys.Placement().SourceOf(0, k)) == f.netSrc && f.ring.Owner(k) != 0 {
+			continue // a remote key; may be missing
+		}
+		if err := table.ReadRow(k, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Rows[j*eb:(j+1)*eb], want) {
+			t.Fatalf("local key %d: row mismatch in partial result", k)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no local keys to check")
+	}
+	// The expired leg must not wedge the dispatchers.
+	res2 := f.Lookup(1, 0, keys[:32])
+	if res2.Err != nil && res2.Err != ErrPartial {
+		t.Fatalf("follow-up lookup: %v", res2.Err)
+	}
+}
+
+// TestFrontClose: lookups with cross-node legs fail fast after Close, and
+// Close is idempotent.
+func TestFrontClose(t *testing.T) {
+	const entries = 2000
+	f, _ := buildFront(t, 2, entries, FrontConfig{Seed: 1})
+	f.Close()
+	f.Close()
+	z, _ := workload.NewZipf(entries, 1.05)
+	r := rng.New(9)
+	var keys []int64
+	for len(keys) < 256 {
+		keys = append(keys, z.Sample(r))
+	}
+	res := f.Lookup(0, 0, keys)
+	if res.Err != ErrClosed && res.Err == nil {
+		t.Fatalf("expected ErrClosed on a routed lookup, got %v", res.Err)
+	}
+}

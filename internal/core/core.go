@@ -69,6 +69,12 @@ type Config struct {
 	// placement (e.g. loaded with solver.LoadPlacement); it is validated
 	// against the rest of the config.
 	Placement *solver.Placement
+	// Owned, on clustered platforms, reports whether this machine's host
+	// shard owns a key: owned network-class keys are served over the local
+	// host path instead of crossing the wire (extract.Extractor.Owned). The
+	// serve layer's cluster router passes its hash-ring shard predicate
+	// here. Ignored on single-machine platforms.
+	Owned func(key int64) bool
 	// Telemetry, when non-nil, receives the engine's extraction metrics
 	// (simulated time split by source tier, per-tier cache-hit key
 	// counters) and the cache layer's refresh gauges. Nil disables
@@ -113,6 +119,7 @@ type System struct {
 	policy   solver.Policy
 	solveOpt solver.Options
 	capacity []int64
+	owned    func(key int64) bool // cluster shard-ownership predicate, nil off-cluster
 
 	// refreshMu serializes Refresh calls; readers never take it.
 	refreshMu sync.Mutex
@@ -136,8 +143,8 @@ type System struct {
 type extractMetrics struct {
 	batches    *telemetry.Counter
 	simSeconds *telemetry.FloatCounter
-	tierKeys   [3]*telemetry.Counter      // local, remote, host
-	tierSecs   [3]*telemetry.FloatCounter // local, remote, host
+	tierKeys   [4]*telemetry.Counter      // local, remote, host, network
+	tierSecs   [4]*telemetry.FloatCounter // local, remote, host, network
 	tpb        [][]float64                // TimePerByteTable (Path allocates; this is the hot path)
 
 	// linkUtil[l] is link l's last-run peak utilization gauge, fed from
@@ -151,6 +158,7 @@ const (
 	tierLocal = iota
 	tierRemote
 	tierHost
+	tierNetwork
 )
 
 func newExtractMetrics(reg *telemetry.Registry, p *platform.Platform) *extractMetrics {
@@ -158,15 +166,17 @@ func newExtractMetrics(reg *telemetry.Registry, p *platform.Platform) *extractMe
 		tpb:        p.TimePerByteTable(),
 		batches:    reg.Counter("core_extract_batches_total", "simulated extraction batches"),
 		simSeconds: reg.FloatCounter("core_extract_sim_seconds_total", "simulated extraction makespan seconds"),
-		tierKeys: [3]*telemetry.Counter{
-			tierLocal:  reg.Counter("core_hit_local_keys_total", "keys served from the local GPU cache partition"),
-			tierRemote: reg.Counter("core_hit_remote_keys_total", "keys served from peer GPU caches"),
-			tierHost:   reg.Counter("core_hit_host_keys_total", "keys falling through to host memory"),
+		tierKeys: [4]*telemetry.Counter{
+			tierLocal:   reg.Counter("core_hit_local_keys_total", "keys served from the local GPU cache partition"),
+			tierRemote:  reg.Counter("core_hit_remote_keys_total", "keys served from peer GPU caches"),
+			tierHost:    reg.Counter("core_hit_host_keys_total", "keys falling through to host memory"),
+			tierNetwork: reg.Counter("core_hit_network_keys_total", "keys fetched from remote machines over the network tier"),
 		},
-		tierSecs: [3]*telemetry.FloatCounter{
-			tierLocal:  reg.FloatCounter("core_extract_local_seconds_total", "modelled seconds moving local-tier bytes"),
-			tierRemote: reg.FloatCounter("core_extract_remote_seconds_total", "modelled seconds moving remote-tier bytes"),
-			tierHost:   reg.FloatCounter("core_extract_host_seconds_total", "modelled seconds moving host-tier bytes"),
+		tierSecs: [4]*telemetry.FloatCounter{
+			tierLocal:   reg.FloatCounter("core_extract_local_seconds_total", "modelled seconds moving local-tier bytes"),
+			tierRemote:  reg.FloatCounter("core_extract_remote_seconds_total", "modelled seconds moving remote-tier bytes"),
+			tierHost:    reg.FloatCounter("core_extract_host_seconds_total", "modelled seconds moving host-tier bytes"),
+			tierNetwork: reg.FloatCounter("core_extract_network_seconds_total", "modelled seconds moving network-tier bytes"),
 		},
 		linkUtil: linkUtilGauges(reg, p),
 		linkCap:  linkCapacities(p),
@@ -216,6 +226,10 @@ func (s *System) observeExtract(res *extract.Result) {
 	m := s.met
 	entryBytes := float64(s.Cache.EntryBytes)
 	host := int(s.P.Host())
+	network := -1
+	if s.P.HasNetwork() {
+		network = int(s.P.Network())
+	}
 	shard := 0 // first active destination; serving batches have exactly one
 	for g, row := range res.SrcBytes {
 		active := false
@@ -230,6 +244,8 @@ func (s *System) observeExtract(res *extract.Result) {
 				tier = tierLocal
 			case host:
 				tier = tierHost
+			case network:
+				tier = tierNetwork
 			}
 			m.tierKeys[tier].Add(g, int64(bytes/entryBytes))
 			m.tierSecs[tier].Add(g, bytes*m.tpb[g][j])
@@ -334,6 +350,10 @@ func Build(cfg Config) (*System, error) {
 		policy:    policy,
 		solveOpt:  cfg.Solver,
 		capacity:  capacity,
+	}
+	if cfg.Platform.HasNetwork() {
+		s.owned = cfg.Owned
+		ex.Owned = s.owned
 	}
 	if cfg.Telemetry != nil {
 		s.met = newExtractMetrics(cfg.Telemetry, cfg.Platform)
@@ -482,6 +502,7 @@ func (s *System) Refresh(newHotness workload.Hotness, baseIterTime float64, cfg 
 	if err != nil {
 		return nil, err
 	}
+	ex.Owned = s.owned
 	rep, err := s.Cache.Refresh(pl, baseIterTime, cfg)
 	if err != nil {
 		return nil, err

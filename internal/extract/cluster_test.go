@@ -1,0 +1,113 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"ugache/internal/platform"
+	"ugache/internal/solver"
+)
+
+// clusterPlatform is ServerC joined into a 4-machine cluster over the
+// default network fabric.
+func clusterPlatform(t *testing.T, machines int) *platform.Platform {
+	t.Helper()
+	cfg := platform.ServerCConfig()
+	net := platform.DefaultNetwork(machines)
+	cfg.Network = &net
+	p, err := platform.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestClusterExtraction: every mechanism runs on a cluster placement, the
+// network source class carries volume, and bytes are conserved.
+func TestClusterExtraction(t *testing.T) {
+	p := clusterPlatform(t, 4)
+	pl, _ := buildPlacement(t, p, 20000, 0.05, solver.UGache{})
+	ex, err := New(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := genBatch(t, 20000, 50000, p.N, 3)
+	net, host := p.Network(), p.Host()
+	for _, m := range []Mechanism{Factored, PeerRandom, MessageBased} {
+		res, err := ex.Run(m, b)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.Time <= 0 || math.IsInf(res.Time, 0) || math.IsNaN(res.Time) {
+			t.Fatalf("%s: time %g", m, res.Time)
+		}
+		netBytes, hostBytes := 0.0, 0.0
+		for g := range res.SrcBytes {
+			sum := 0.0
+			for _, v := range res.SrcBytes[g] {
+				sum += v
+			}
+			want := float64(len(b.Keys[g])) * 512
+			if math.Abs(sum-want) > 1 {
+				t.Fatalf("%s: gpu %d bytes %g, want %g", m, g, sum, want)
+			}
+			netBytes += res.SrcBytes[g][net]
+			hostBytes += res.SrcBytes[g][host]
+		}
+		if netBytes <= 0 {
+			t.Fatalf("%s: no network-class bytes despite a 5%% cache", m)
+		}
+		if hostBytes != 0 {
+			t.Fatalf("%s: %g host bytes; cluster placements prune the host tier", m, hostBytes)
+		}
+	}
+}
+
+// TestClusterOwnedSplit: the Owned predicate reroutes this machine's shard
+// of the network-class keys onto the host path, byte for byte.
+func TestClusterOwnedSplit(t *testing.T) {
+	p := clusterPlatform(t, 4)
+	pl, _ := buildPlacement(t, p, 20000, 0.05, solver.UGache{})
+	ex, err := New(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := genBatch(t, 20000, 50000, p.N, 3)
+	base, err := ex.Run(Factored, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, host := p.Network(), p.Host()
+	baseNet := make([]float64, p.N)
+	for g := range base.SrcBytes {
+		baseNet[g] = base.SrcBytes[g][net]
+	}
+	// Own every fourth key — a deterministic stand-in for the hash ring's
+	// 1/M shard.
+	ex.Owned = func(k int64) bool { return k%4 == 0 }
+	split, err := ex.Run(Factored, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range split.SrcBytes {
+		gotNet, gotHost := split.SrcBytes[g][net], split.SrcBytes[g][host]
+		if gotHost <= 0 {
+			t.Fatalf("gpu %d: owned keys did not reach the host path", g)
+		}
+		if math.Abs(gotNet+gotHost-baseNet[g]) > 1 {
+			t.Fatalf("gpu %d: split %g+%g != unsplit network volume %g", g, gotNet, gotHost, baseNet[g])
+		}
+		if gotNet >= baseNet[g] {
+			t.Fatalf("gpu %d: network volume %g not reduced from %g", g, gotNet, baseNet[g])
+		}
+		// Non-network tiers are untouched by the split.
+		for j := range split.SrcBytes[g] {
+			if platform.SourceID(j) == net || platform.SourceID(j) == host {
+				continue
+			}
+			if split.SrcBytes[g][j] != base.SrcBytes[g][j] {
+				t.Fatalf("gpu %d src %d: %g != %g", g, j, split.SrcBytes[g][j], base.SrcBytes[g][j])
+			}
+		}
+	}
+}

@@ -126,6 +126,13 @@ type Extractor struct {
 	Pl *solver.Placement
 	// EntryBytes overrides the placement's entry size when non-zero.
 	EntryBytes int
+	// Owned, on clustered platforms, reports whether this machine's host
+	// shard holds the key. Network-class keys the predicate accepts are
+	// regrouped onto the host path (the local 1/M shard serves them without
+	// touching the wire) — the runtime realization of the solver's blended
+	// network column. Nil means no local shard (every network-class key
+	// crosses the NIC).
+	Owned func(key int64) bool
 	// plan caches the batch-invariant planning constants (paths, core
 	// dedications, labels); see planCache.
 	plan *planCache
@@ -338,10 +345,14 @@ func (e *Extractor) runPeerRandom(vol [][]float64) (*Result, error) {
 // head; kept simple by re-deriving from the placement volumes instead would
 // need extra bookkeeping.
 func sourceOfLabelDemand(p *platform.Platform, d sim.PoolDemand) platform.SourceID {
-	// Host path starts at the DRAM link; local path is a single HBM link of
-	// the pool GPU; remote path starts at the source GPU's HBM.
+	// Host path starts at the DRAM link; the network path is the 3-hop
+	// DRAM→NIC→PCIe staging route; local path is a single HBM link of the
+	// pool GPU; remote path starts at the source GPU's HBM.
 	if len(d.Path) == 2 && d.Path[0] == p.DRAMLink() {
 		return p.Host()
+	}
+	if len(d.Path) == 3 && d.Path[0] == p.DRAMLink() {
+		return p.Network()
 	}
 	for g := 0; g < p.N; g++ {
 		if d.Path[0] == p.HBMLink(g) {
@@ -374,6 +385,11 @@ func (e *Extractor) runMessageBased(vol [][]float64, b *Batch) (*Result, error) 
 			}
 			switch {
 			case j == int(e.P.Host()):
+				hostBytes[i] += v
+			case e.P.HasNetwork() && j == int(e.P.Network()):
+				// Cross-machine fetches stage through host memory; the
+				// message-based baseline models them as host fetches (it has
+				// no cross-machine exchange phase of its own).
 				hostBytes[i] += v
 			case j == i:
 				gatherBytes[i] += v // local gather straight to output

@@ -141,11 +141,22 @@ var groupParallelThreshold = 1 << 12
 // the grouping step of the factored extraction (§5.1).
 func (e *Extractor) groupGPU(g int, keys []int64, row []float64, eb float64, n int64) error {
 	pl := e.Pl
+	netSrc, hostSrc := platform.SourceID(-1), e.P.Host()
+	if e.Owned != nil && e.P.HasNetwork() {
+		netSrc = e.P.Network()
+	}
 	for _, k := range keys {
 		if k < 0 || k >= n {
 			return fmt.Errorf("extract: key %d outside [0, %d)", k, n)
 		}
-		row[pl.SourceOf(g, k)] += eb
+		src := pl.SourceOf(g, k)
+		if src == netSrc && e.Owned(k) {
+			// The local host shard owns this network-class key: serve it
+			// over PCIe without crossing the wire (the owned leg of the
+			// solver's blended network column).
+			src = hostSrc
+		}
+		row[src] += eb
 	}
 	return nil
 }

@@ -60,7 +60,7 @@ func (k Kind) String() string {
 }
 
 // MaxPayload is the number of numeric payload slots on an Event.
-const MaxPayload = 8
+const MaxPayload = 9
 
 // Payload slot indices for KindBatch events.
 const (
@@ -75,6 +75,9 @@ const (
 	BatchLocalSeconds
 	BatchRemoteSeconds
 	BatchHostSeconds
+	// BatchNetworkSeconds is the modelled network-tier (remote-machine)
+	// share; non-zero only on clustered platforms.
+	BatchNetworkSeconds
 )
 
 // Payload slot indices for KindQueue events.
@@ -117,7 +120,7 @@ const (
 // export emits exactly these.
 var kindFields = map[Kind][]string{
 	KindBatch: {"latency_s", "requests", "unique_keys", "prefetch_hits",
-		"sim_s", "local_s", "remote_s", "host_s"},
+		"sim_s", "local_s", "remote_s", "host_s", "network_s"},
 	KindQueue:    {"depth", "shed_total"},
 	KindShed:     {"new_sheds"},
 	KindRefresh:  {"solve_wall_s", "duration_s", "moved_entries", "mean_impact", "solve_nodes"},

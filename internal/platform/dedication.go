@@ -28,6 +28,19 @@ func (p *Platform) FEMDedication(dst int) []float64 {
 	cores[p.Host()] = hostCores
 	remaining := total - hostCores
 
+	if p.hasNet {
+		// The network tier gets its tolerance, like host: enough cores to
+		// saturate the (slow) staged path without starving the NVLink
+		// groups that carry the bulk of the traffic.
+		netTol, _ := p.Tolerance(dst, p.Network())
+		netCores := math.Ceil(netTol)
+		if netCores > remaining/2 {
+			netCores = math.Floor(remaining / 2)
+		}
+		cores[p.Network()] = netCores
+		remaining -= netCores
+	}
+
 	if p.N == 1 {
 		return cores
 	}
@@ -74,6 +87,14 @@ func (p *Platform) EffectiveBW(dst int, src SourceID) (bw float64, ok bool) {
 		// data-parallel deployment: a reader's fair share is DRAM/N, which
 		// on every stock server is at or below its PCIe bandwidth.
 		if share := p.DRAMBW / float64(p.N); share < link {
+			link = share
+		}
+	}
+	if p.hasNet && src == p.Network() {
+		// The single NIC is likewise shared by all N GPUs extracting
+		// concurrently; its per-reader share sits below the DRAM share by
+		// construction, making the wire the slowest tier.
+		if share := p.Net.LinkBW / float64(p.N); share < link {
 			link = share
 		}
 	}

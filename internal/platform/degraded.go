@@ -25,6 +25,12 @@ const PeerLinkEfficiency = 0.55
 // from raw PCIe inefficiency.
 const PeerPCIeEfficiency = 0.85
 
+// PeerNetworkEfficiency is the corresponding factor for the inter-machine
+// NIC. Unorganized cross-machine access loses the large coalesced RDMA
+// reads that make the wire efficient, but the staging path (whole rows
+// through host memory) keeps the penalty milder than NVLink's.
+const PeerNetworkEfficiency = 0.7
+
 // ensureDegraded builds the degraded twin links (one per PCIe lane,
 // NVLink pair, and NVSwitch port). HBM and host DRAM have no twins: on-die
 // memory systems handle random access, and the divergence penalty on the
@@ -38,6 +44,10 @@ func (p *Platform) ensureDegraded() {
 	p.pcieDeg = make([]sim.LinkID, p.N)
 	for g := 0; g < p.N; g++ {
 		p.pcieDeg[g] = p.Topo.AddLink(fmt.Sprintf("gpu%d-pcie-unorg", g), p.PCIeBW*PeerPCIeEfficiency)
+	}
+	p.nicDeg = -1
+	if p.hasNet {
+		p.nicDeg = p.Topo.AddLink("nic-unorg", p.Net.LinkBW*PeerNetworkEfficiency)
 	}
 	switch p.Kind {
 	case SwitchBased:
@@ -73,6 +83,8 @@ func (p *Platform) PathUnorganized(dst int, src SourceID) (path []sim.LinkID, ok
 	switch {
 	case src == p.Host():
 		return []sim.LinkID{p.dram, p.pcieDeg[dst]}, true
+	case p.hasNet && src == p.Network():
+		return []sim.LinkID{p.dram, p.nicDeg, p.pcieDeg[dst]}, true
 	case int(src) == dst:
 		return []sim.LinkID{p.hbm[dst]}, true
 	case int(src) >= 0 && int(src) < p.N:
@@ -104,6 +116,9 @@ func (p *Platform) FoldDegraded(linkBytes []float64) {
 	}
 	for g := 0; g < p.N; g++ {
 		move(p.pcieDeg[g], p.pcie[g])
+	}
+	if p.hasNet && p.nicDeg >= 0 {
+		move(p.nicDeg, p.nic)
 	}
 	if p.Kind == SwitchBased && p.outDeg != nil {
 		for g := 0; g < p.N; g++ {

@@ -70,8 +70,33 @@ func (k Kind) String() string {
 }
 
 // SourceID identifies a source location: 0..N-1 are GPUs, Host(N) is host
-// memory (the value equals the GPU count of the platform).
+// memory (the value equals the GPU count of the platform), and — on
+// clustered platforms only — Network(N+1) is the remote-machine tier behind
+// the inter-machine fabric.
 type SourceID int
+
+// NetworkConfig describes the inter-machine fabric joining M identical
+// single-machine platforms into a cluster. Each machine owns one NIC whose
+// effective gather bandwidth and base round-trip latency are modelled like
+// any other link; a degraded twin (see degraded.go) covers unorganized
+// extraction over the wire.
+type NetworkConfig struct {
+	// Machines is the number of machines in the cluster (≥ 2).
+	Machines int
+	// LinkBW is the effective per-machine NIC bandwidth, bytes/s.
+	LinkBW float64
+	// LatencySec is the base network round-trip latency added per
+	// cross-machine dispatch (amortized by sub-batch coalescing).
+	LatencySec float64
+}
+
+// DefaultNetwork is the stock inter-machine fabric: a 200 Gb/s-class RDMA
+// NIC at 25 GB/s effective gather bandwidth and a 10 µs base round trip.
+// The per-GPU NIC share (LinkBW/N) deliberately sits below the per-GPU host
+// DRAM share, so the network tier is the slowest rung of the hierarchy.
+func DefaultNetwork(machines int) NetworkConfig {
+	return NetworkConfig{Machines: machines, LinkBW: 25e9, LatencySec: 10e-6}
+}
 
 // Platform is one multi-GPU server.
 type Platform struct {
@@ -87,6 +112,9 @@ type Platform struct {
 	// SwitchPortBW is the per-GPU outbound/inbound NVSwitch port capacity
 	// (switch-based platforms only).
 	SwitchPortBW float64
+	// Net is the inter-machine fabric; meaningful only when hasNet is set
+	// (clustered platforms).
+	Net NetworkConfig
 
 	Topo sim.Topology
 	hbm  []sim.LinkID
@@ -96,12 +124,16 @@ type Platform struct {
 	pair [][]sim.LinkID
 	dram sim.LinkID
 
+	hasNet bool
+	nic    sim.LinkID // clustered platforms only
+
 	// Degraded twins for unorganized extraction (built lazily; see
 	// degraded.go).
 	pcieDeg []sim.LinkID
 	outDeg  []sim.LinkID
 	inDeg   []sim.LinkID
 	pairDeg [][]sim.LinkID
+	nicDeg  sim.LinkID
 }
 
 // Config describes a platform to build; use the ServerA/B/C constructors
@@ -115,6 +147,9 @@ type Config struct {
 	DRAMBW       float64
 	PairBW       [][]float64 // hard-wired; PairBW[i][j] = bw for i reading j
 	SwitchPortBW float64     // switch-based
+	// Network, when non-nil, makes this one machine of a Machines-wide
+	// cluster joined by the described fabric (adds the Network source).
+	Network *NetworkConfig
 }
 
 // New builds a platform and its link topology from a config.
@@ -128,6 +163,17 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.GPU.SMs <= 0 || cfg.GPU.LocalBW <= 0 ||
 		cfg.GPU.RCoreLocal <= 0 || cfg.GPU.RCoreRemote <= 0 || cfg.GPU.RCoreHost <= 0 {
 		return nil, fmt.Errorf("platform: incomplete GPU model %q", cfg.GPU.Name)
+	}
+	if cfg.Network != nil {
+		if cfg.Network.Machines < 2 {
+			return nil, fmt.Errorf("platform: cluster needs at least 2 machines, got %d", cfg.Network.Machines)
+		}
+		if cfg.Network.LinkBW <= 0 {
+			return nil, fmt.Errorf("platform: cluster NIC bandwidth must be positive")
+		}
+		if cfg.Network.LatencySec < 0 {
+			return nil, fmt.Errorf("platform: cluster latency must be non-negative")
+		}
 	}
 	p := &Platform{
 		Name: cfg.Name, Kind: cfg.Kind, GPU: cfg.GPU, N: cfg.N,
@@ -193,6 +239,11 @@ func New(cfg Config) (*Platform, error) {
 	default:
 		return nil, fmt.Errorf("platform: unknown kind %d", cfg.Kind)
 	}
+	if cfg.Network != nil {
+		p.hasNet = true
+		p.Net = *cfg.Network
+		p.nic = p.Topo.AddLink("nic", cfg.Network.LinkBW)
+	}
 	// Build the degraded twins now so the platform (and its topology) is
 	// immutable once published — concurrent readers never race a lazy
 	// AddLink from the first unorganized-extraction path query.
@@ -210,9 +261,9 @@ func mustNew(cfg Config) *Platform {
 	return p
 }
 
-// ServerA is the paper's 4×V100 hard-wired server: uniform, fully connected,
-// 50 GB/s per directed pair (150 GB/s total outbound).
-func ServerA() *Platform {
+// ServerAConfig is the config behind ServerA, exposed so callers can derive
+// variants (most usefully clustered ones via ClusterOf).
+func ServerAConfig() Config {
 	const n = 4
 	pair := make([][]float64, n)
 	for i := range pair {
@@ -223,11 +274,15 @@ func ServerA() *Platform {
 			}
 		}
 	}
-	return mustNew(Config{
+	return Config{
 		Name: "ServerA-4xV100", Kind: HardWired, GPU: V100x16, N: n,
 		PCIeBW: 12e9, DRAMBW: 140e9, PairBW: pair,
-	})
+	}
 }
+
+// ServerA is the paper's 4×V100 hard-wired server: uniform, fully connected,
+// 50 GB/s per directed pair (150 GB/s total outbound).
+func ServerA() *Platform { return mustNew(ServerAConfig()) }
 
 // dgx1Double and dgx1Single are the NVLink pairs of the DGX-1 (V100) hybrid
 // cube-mesh: two quads {0..3} and {4..7}, each GPU with six links.
@@ -236,10 +291,8 @@ var (
 	dgx1Single = [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {1, 3}, {4, 6}, {5, 7}}
 )
 
-// ServerB is the paper's 8×V100 DGX-1 server: non-uniform hard-wired
-// topology with double (50 GB/s) and single (25 GB/s) links and unconnected
-// cross-quad pairs.
-func ServerB() *Platform {
+// ServerBConfig is the config behind ServerB.
+func ServerBConfig() Config {
 	const n = 8
 	pair := make([][]float64, n)
 	for i := range pair {
@@ -255,26 +308,65 @@ func ServerB() *Platform {
 	for _, e := range dgx1Single {
 		set(e[0], e[1], 25e9)
 	}
-	return mustNew(Config{
+	return Config{
 		Name: "ServerB-8xV100", Kind: HardWired, GPU: V100x32, N: n,
 		PCIeBW: 12e9, DRAMBW: 160e9, PairBW: pair,
-	})
+	}
+}
+
+// ServerB is the paper's 8×V100 DGX-1 server: non-uniform hard-wired
+// topology with double (50 GB/s) and single (25 GB/s) links and unconnected
+// cross-quad pairs.
+func ServerB() *Platform { return mustNew(ServerBConfig()) }
+
+// ServerCConfig is the config behind ServerC.
+func ServerCConfig() Config {
+	return Config{
+		Name: "ServerC-8xA100", Kind: SwitchBased, GPU: A100x80, N: 8,
+		PCIeBW: 25e9, DRAMBW: 320e9, SwitchPortBW: 270e9,
+	}
 }
 
 // ServerC is the paper's 8×A100 NVSwitch server (DGX A100-like), 270 GB/s
 // effective per-GPU port bandwidth.
-func ServerC() *Platform {
-	return mustNew(Config{
-		Name: "ServerC-8xA100", Kind: SwitchBased, GPU: A100x80, N: 8,
-		PCIeBW: 25e9, DRAMBW: 320e9, SwitchPortBW: 270e9,
-	})
+func ServerC() *Platform { return mustNew(ServerCConfig()) }
+
+// ClusterOf turns a single-machine config into one machine of a cluster
+// joined by the given fabric. Every machine in the cluster is identical, so
+// one Platform value describes each of them; the Machines count feeds the
+// solver's replicate-vs-fetch trade-off and the serving router.
+func ClusterOf(cfg Config, net NetworkConfig) (*Platform, error) {
+	cfg.Network = &net
+	cfg.Name = fmt.Sprintf("%s-x%d", cfg.Name, net.Machines)
+	return New(cfg)
 }
 
 // Host returns the SourceID of host memory on this platform.
 func (p *Platform) Host() SourceID { return SourceID(p.N) }
 
-// NumSources returns the number of source locations (GPUs plus host).
-func (p *Platform) NumSources() int { return p.N + 1 }
+// Network returns the SourceID of the remote-machine tier. Only meaningful
+// on clustered platforms (HasNetwork); elsewhere no path reaches it.
+func (p *Platform) Network() SourceID { return SourceID(p.N + 1) }
+
+// HasNetwork reports whether this platform is one machine of a cluster.
+func (p *Platform) HasNetwork() bool { return p.hasNet }
+
+// Machines returns the cluster width (1 for single-machine platforms).
+func (p *Platform) Machines() int {
+	if !p.hasNet {
+		return 1
+	}
+	return p.Net.Machines
+}
+
+// NumSources returns the number of source locations: GPUs plus host, plus
+// the network tier on clustered platforms.
+func (p *Platform) NumSources() int {
+	if p.hasNet {
+		return p.N + 2
+	}
+	return p.N + 1
+}
 
 // Connected reports whether GPU i can read GPU j's memory over NVLink or
 // NVSwitch. A GPU is always "connected" to itself and never to the host via
@@ -302,6 +394,13 @@ func (p *Platform) Path(dst int, src SourceID) (path []sim.LinkID, ok bool) {
 	switch {
 	case src == p.Host():
 		return []sim.LinkID{p.dram, p.pcie[dst]}, true
+	case p.hasNet && src == p.Network():
+		// A cross-machine gather lands in this machine's DRAM staging area
+		// and crosses PCIe into the GPU; charging our own DRAM (not the
+		// remote machine's) models the reciprocal load of serving the other
+		// machines' requests in the symmetric steady state, the same trick
+		// the NVSwitch model uses with out/in ports.
+		return []sim.LinkID{p.dram, p.nic, p.pcie[dst]}, true
 	case int(src) == dst:
 		return []sim.LinkID{p.hbm[dst]}, true
 	case int(src) >= 0 && int(src) < p.N:
@@ -321,6 +420,10 @@ func (p *Platform) Path(dst int, src SourceID) (path []sim.LinkID, ok bool) {
 func (p *Platform) RCore(dst int, src SourceID) float64 {
 	switch {
 	case src == p.Host():
+		return p.GPU.RCoreHost
+	case p.hasNet && src == p.Network():
+		// Network gathers are staged through host memory, so the issuing
+		// cores sustain the host rate.
 		return p.GPU.RCoreHost
 	case int(src) == dst:
 		return p.GPU.RCoreLocal
@@ -369,15 +472,16 @@ func (p *Platform) TimePerByte(dst int, src SourceID) (t float64, ok bool) {
 	return 1 / bw, true
 }
 
-// TimePerByteTable materializes TimePerByte as an N x (N+1) matrix —
+// TimePerByteTable materializes TimePerByte as an N x NumSources matrix —
 // tbl[dst][src] in seconds per byte, 0 for unconnected pairs. Path lookups
 // allocate; per-batch hot paths (telemetry's per-tier second estimates)
 // index this table instead of calling TimePerByte.
 func (p *Platform) TimePerByteTable() [][]float64 {
+	ns := p.NumSources()
 	tbl := make([][]float64, p.N)
 	for g := range tbl {
-		tbl[g] = make([]float64, p.N+1)
-		for j := 0; j <= p.N; j++ {
+		tbl[g] = make([]float64, ns)
+		for j := 0; j < ns; j++ {
 			if t, ok := p.TimePerByte(g, SourceID(j)); ok {
 				tbl[g][j] = t
 			}
@@ -391,6 +495,15 @@ func (p *Platform) TimePerByteTable() [][]float64 {
 func (p *Platform) HBMLink(g int) sim.LinkID  { return p.hbm[g] }
 func (p *Platform) PCIeLink(g int) sim.LinkID { return p.pcie[g] }
 func (p *Platform) DRAMLink() sim.LinkID      { return p.dram }
+
+// NICLink returns the inter-machine NIC link, or -1 on single-machine
+// platforms.
+func (p *Platform) NICLink() sim.LinkID {
+	if !p.hasNet {
+		return -1
+	}
+	return p.nic
+}
 
 // OutLink returns the NVSwitch outbound port of g, or -1 on hard-wired
 // platforms.

@@ -322,6 +322,7 @@ type Server struct {
 	sampler *cache.HotnessSampler
 	ctrl    *core.Controller
 	tpb     [][]float64 // platform.TimePerByteTable, for alloc-free trace records
+	netSrc  int         // cluster network SourceID as int, -1 off-cluster
 
 	tl      *timeline.Recorder
 	linkCap []float64 // topology link capacities, for utilization span args
@@ -360,6 +361,10 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		met:        newMetrics(reg),
 		sampler:    cfg.Sampler,
 		ctrl:       cfg.Controller,
+		netSrc:     -1,
+	}
+	if sys.P.HasNetwork() {
+		s.netSrc = int(sys.P.Network())
 	}
 	if cfg.TraceDepth > 0 {
 		s.ring = telemetry.NewTraceRing(cfg.TraceDepth)
@@ -889,9 +894,9 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 	}
 	// The flight batch event's tier split is read here, before the
 	// functional gather below reuses sc.core (res aliases the scratch).
-	var flLocal, flRemote, flHost float64
+	var flLocal, flRemote, flHost, flNetwork float64
 	if sc.flight != nil {
-		host := int(s.sys.P.Host())
+		host, network := int(s.sys.P.Host()), s.netSrc
 		for j, bytes := range res.SrcBytes[g] {
 			if bytes == 0 {
 				continue
@@ -900,6 +905,8 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 			switch {
 			case j == host:
 				flHost += sec
+			case j == network:
+				flNetwork += sec
 			case j == g:
 				flLocal += sec
 			default:
@@ -1008,6 +1015,7 @@ func (s *Server) flush(g int, batch []*request, sc *workerScratch, reason teleme
 		e.V[flight.BatchLocalSeconds] = flLocal
 		e.V[flight.BatchRemoteSeconds] = flRemote
 		e.V[flight.BatchHostSeconds] = flHost
+		e.V[flight.BatchNetworkSeconds] = flNetwork
 		sc.flight.Record(&e)
 	}
 
@@ -1107,7 +1115,7 @@ func (s *Server) recordTrace(g int, seq int64, batch []*request, res *extract.Re
 		PrefetchHits:     prefetchHits,
 		StaleBatches:     staleMax,
 	}
-	host := int(s.sys.P.Host())
+	host, network := int(s.sys.P.Host()), s.netSrc
 	for j, bytes := range res.SrcBytes[g] {
 		if bytes == 0 {
 			continue
@@ -1117,6 +1125,9 @@ func (s *Server) recordTrace(g int, seq int64, batch []*request, res *extract.Re
 		case j == host:
 			tr.HostBytes += bytes
 			tr.HostSeconds += sec
+		case j == network:
+			tr.NetworkBytes += bytes
+			tr.NetworkSeconds += sec
 		case j == g:
 			tr.LocalBytes += bytes
 			tr.LocalSeconds += sec

@@ -102,7 +102,7 @@ func (c *ctx) build(cuts ...int64) []Block {
 				Start: b, End: end,
 				HotPerEntry: c.mass(b, end) / float64(end-b),
 				Store:       make([]bool, c.in.P.N),
-				Access:      newHostAccess(c.in),
+				Access:      newFallbackAccess(c.in),
 			})
 		}
 	}
@@ -145,12 +145,14 @@ func (c *ctx) quantileBounds(budget int64, cuts []int64) []int64 {
 	return bounds
 }
 
-// newHostAccess returns an access arrangement where every GPU falls back to
-// host — the state of an uncached block.
-func newHostAccess(in *Input) []platform.SourceID {
+// newFallbackAccess returns an access arrangement where every GPU reads the
+// fallback tier (host, or network on clusters) — the state of an uncached
+// block.
+func newFallbackAccess(in *Input) []platform.SourceID {
 	acc := make([]platform.SourceID, in.P.N)
+	fb := in.fallback()
 	for i := range acc {
-		acc[i] = in.P.Host()
+		acc[i] = fb
 	}
 	return acc
 }
@@ -209,7 +211,7 @@ func (c *ctx) buildQuantile(maxBlocks int) []Block {
 			Start: lo, End: hi,
 			HotPerEntry: c.mass(lo, hi) / float64(hi-lo),
 			Store:       make([]bool, c.in.P.N),
-			Access:      newHostAccess(c.in),
+			Access:      newFallbackAccess(c.in),
 		})
 	}
 	return blocks

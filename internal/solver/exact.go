@@ -43,11 +43,11 @@ func (bm *blockModel) zVar() int          { return bm.nb*bm.g*bm.srcs + bm.nb*bm
 func buildBlockModel(in *Input, c *ctx, blocks []Block) (*blockModel, error) {
 	g := in.P.N
 	srcs := in.P.NumSources()
-	m := newCostModel(in.P)
+	m := newCostModel(in)
 	nb := len(blocks)
 	totalBytes := c.mass(0, c.numEntries()) * float64(in.EntryBytes)
 	scale := 1.0
-	if hostInv := m.invEff[0][int(in.P.Host())]; totalBytes > 0 && hostInv > 0 {
+	if hostInv := m.invEff[0][int(in.fallback())]; totalBytes > 0 && hostInv > 0 {
 		scale = 1 / (totalBytes * hostInv)
 	}
 	bm := &blockModel{blocks: blocks, m: m, g: g, srcs: srcs, nb: nb, scale: scale}
@@ -177,8 +177,8 @@ func (bm *blockModel) warmIncumbent(in *Input, c *ctx, old *Placement) []float64
 			}
 		}
 		for i := 0; i < bm.g; i++ {
-			best := int(in.P.Host())
-			bestCost := bm.m.perByteCost(i, in.P.Host())
+			best := int(in.fallback())
+			bestCost := bm.m.perByteCost(i, in.fallback())
 			for j := 0; j < bm.g; j++ {
 				if x[bm.sv(b, j)] != 1 || math.IsInf(bm.m.invEff[i][j], 1) {
 					continue

@@ -107,7 +107,7 @@ func TestUGacheMatchesEntryMILP(t *testing.T) {
 	}
 	in := &Input{P: p, Hotness: h, EntryBytes: 512, Capacity: []int64{4, 4}}
 
-	m := newCostModel(p)
+	m := newCostModel(in)
 	prob, ints, objective := buildEntryMILP(t, in, m)
 	sol, err := milp.Solve(prob, ints, milp.Options{MaxNodes: 20000})
 	if err != nil {

@@ -26,7 +26,8 @@ type costModel struct {
 	packCost [][]float64
 }
 
-func newCostModel(p *platform.Platform) *costModel {
+func newCostModel(in *Input) *costModel {
+	p := in.P
 	m := &costModel{p: p}
 	srcs := p.NumSources()
 	m.invEff = make([][]float64, p.N)
@@ -44,6 +45,29 @@ func newCostModel(p *platform.Platform) *costModel {
 			}
 			m.invEff[i][j] = 1 / bw
 			m.packCost[i][j] = 1 / (p.RCore(i, src) * float64(p.GPU.SMs))
+		}
+	}
+	if p.HasNetwork() {
+		// Cluster mode. Host DRAM holds only this machine's 1/M shard of the
+		// uncached range, so "read from host" is not a choice the solver can
+		// make on its own — a network-class byte is served by the local shard
+		// with probability 1/M and crosses the wire otherwise. Either way it
+		// lands in local DRAM and crosses local PCIe into the GPU, so the
+		// host path's per-byte cost applies to the FULL network-class volume;
+		// the wire fraction additionally rides the NIC's per-GPU share. The
+		// link-bound blend is the max of those two constraints, and packing
+		// is the full host packing cost (every byte is issued once by a core
+		// at the host rate, whichever leg served it). The host column is then
+		// pruned (infinite), collapsing the remote-machine trade-off into one
+		// extra source class with zero volume-split plumbing downstream.
+		net, host := int(p.Network()), int(p.Host())
+		wire := 1 - 1/float64(p.Machines())
+		invNICShare := float64(p.N) / p.Net.LinkBW
+		for i := 0; i < p.N; i++ {
+			m.invEff[i][net] = math.Max(m.invEff[i][host], wire*invNICShare)
+			m.packCost[i][net] = m.packCost[i][host]
+			m.invEff[i][host] = math.Inf(1)
+			m.packCost[i][host] = math.Inf(1)
 		}
 	}
 	return m
@@ -108,7 +132,7 @@ func (m *costModel) times(vol [][]float64) []float64 {
 // EstimateTimes evaluates the §6.2 model for a finished placement: the
 // per-GPU estimated extraction seconds per iteration.
 func EstimateTimes(in *Input, pl *Placement) []float64 {
-	return newCostModel(in.P).times(volumes(in, pl.Blocks, pl.ByRank))
+	return newCostModel(in).times(volumes(in, pl.Blocks, pl.ByRank))
 }
 
 // EstimateMakespan returns max_i EstimateTimes.

@@ -103,8 +103,8 @@ func solveSymmetricLP(in *Input, budget int) (*Placement, error) {
 	c := newCtx(in)
 	blocks := c.build()
 	g := in.P.N
-	m := newCostModel(in.P)
-	host := int(in.P.Host())
+	m := newCostModel(in)
+	host := int(in.fallback())
 
 	nb := len(blocks)
 	nx := nb * (g + 1)
@@ -225,7 +225,7 @@ func solveSymmetricLP(in *Input, budget int) (*Placement, error) {
 // accumulated traffic.
 func realizeSymmetric(in *Input, c *ctx, blocks []Block, sol *lp.Solution, xv func(b, cnt int) int) []Block {
 	g := in.P.N
-	host := in.P.Host()
+	host := in.fallback()
 	var out []Block
 	capLeft := append([]int64(nil), in.Capacity...)
 	vol := make([]float64, g) // per-source accumulated remote traffic
@@ -244,7 +244,7 @@ func realizeSymmetric(in *Input, c *ctx, blocks []Block, sol *lp.Solution, xv fu
 				Start: start, End: start + n,
 				HotPerEntry: blockMean(c, start, start+n),
 				Store:       make([]bool, g),
-				Access:      newHostAccess(in),
+				Access:      newFallbackAccess(in),
 			}
 			for k := 0; k < cnt; k++ {
 				m := -1
@@ -370,7 +370,7 @@ func (o OptimalLP) solveGeneral(in *Input) (*Placement, error) {
 			}
 		}
 		for i := 0; i < g; i++ {
-			best := in.P.Host()
+			best := in.fallback()
 			bestCost := bm.m.perByteCost(i, best)
 			for j := 0; j < g; j++ {
 				if !blk.Store[j] || (i != j && !in.P.Connected(i, j)) {

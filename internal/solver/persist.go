@@ -155,7 +155,8 @@ func LoadPlacement(r io.Reader) (*Placement, error) {
 			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
 				return nil, err
 			}
-			if v < 0 || v > int32(gpus) {
+			// gpus is Host, gpus+1 the cluster Network tier.
+			if v < 0 || v > int32(gpus)+1 {
 				return nil, fmt.Errorf("solver: block %d access %d out of range", bi, v)
 			}
 			b.Access[g] = platform.SourceID(v)

@@ -181,7 +181,7 @@ func assignPartition(in *Input, blocks []Block, members []int, capLeft []int64, 
 }
 
 func assignPartitionRange(in *Input, blocks []Block, members []int, capLeft []int64, from, upTo int64) {
-	host := in.P.Host()
+	host := in.fallback()
 	for bi := range blocks {
 		b := &blocks[bi]
 		if b.Start < from || b.End > upTo {

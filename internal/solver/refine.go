@@ -132,8 +132,8 @@ func (st *gstate) remove(bi, g int) (undo func()) {
 // GPU `excluding`.
 func (st *gstate) nextBestSource(i, bi, excluding int) platform.SourceID {
 	b := &st.blocks[bi]
-	best := st.host
-	bestCost := st.m.perByteCost(i, st.host)
+	best := st.fb
+	bestCost := st.m.perByteCost(i, st.fb)
 	for g := 0; g < st.in.P.N; g++ {
 		if g == excluding || !b.Store[g] || (g != i && !st.in.P.Connected(i, g)) {
 			continue

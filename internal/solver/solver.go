@@ -74,6 +74,18 @@ func (in *Input) blockBudget() int {
 	return DefaultBlockBudget
 }
 
+// fallback returns the source uncached blocks are read from: host memory on
+// single-machine platforms, the network tier on clustered ones — there the
+// local DRAM holds only this machine's 1/M shard of the uncached range, and
+// the blended network column (see newCostModel) prices the owned-shard vs
+// over-the-wire split exactly.
+func (in *Input) fallback() platform.SourceID {
+	if in.P.HasNetwork() {
+		return in.P.Network()
+	}
+	return in.P.Host()
+}
+
 // Block is a contiguous range of hotness ranks with a common storage and
 // access arrangement.
 type Block struct {
@@ -213,9 +225,10 @@ func (pl *Placement) CapacityUsed() []int64 {
 }
 
 // HitStats describes where one GPU's accesses land, as fractions of total
-// hotness mass (Fig. 14's local / remote / host split).
+// hotness mass (Fig. 14's local / remote / host split, extended with the
+// cluster network tier).
 type HitStats struct {
-	Local, Remote, Host float64
+	Local, Remote, Host, Network float64
 }
 
 // Stats computes the per-GPU access split under the hotness the placement
@@ -227,6 +240,7 @@ func (pl *Placement) Stats(h workload.Hotness) []HitStats {
 		return out
 	}
 	host := platform.SourceID(pl.NumGPUs)
+	network := platform.SourceID(pl.NumGPUs + 1)
 	for _, b := range pl.Blocks {
 		mass := 0.0
 		for r := b.Start; r < b.End; r++ {
@@ -236,6 +250,8 @@ func (pl *Placement) Stats(h workload.Hotness) []HitStats {
 			switch src := b.Access[i]; {
 			case src == host:
 				out[i].Host += mass
+			case src == network:
+				out[i].Network += mass
 			case int(src) == i:
 				out[i].Local += mass
 			default:
@@ -248,17 +264,20 @@ func (pl *Placement) Stats(h workload.Hotness) []HitStats {
 		out[i].Local *= inv
 		out[i].Remote *= inv
 		out[i].Host *= inv
+		out[i].Network *= inv
 	}
 	return out
 }
 
 // Validate checks the §6.2 invariants: every access points at a source that
-// stores the block (or host) and is reachable; capacities are respected.
+// stores the block (or the fallback tier — host, or network on clusters)
+// and is reachable; capacities are respected.
 func (pl *Placement) Validate(in *Input) error {
 	if len(pl.Blocks) == 0 {
 		return fmt.Errorf("solver: placement has no blocks")
 	}
 	host := in.P.Host()
+	cluster := in.P.HasNetwork()
 	var prevEnd int64
 	for bi := range pl.Blocks {
 		b := &pl.Blocks[bi]
@@ -272,6 +291,12 @@ func (pl *Placement) Validate(in *Input) error {
 		for i := 0; i < pl.NumGPUs; i++ {
 			src := b.Access[i]
 			if src == host {
+				if cluster {
+					return fmt.Errorf("solver: block %d gpu %d reads the pruned host tier on a cluster platform", bi, i)
+				}
+				continue
+			}
+			if cluster && src == in.P.Network() {
 				continue
 			}
 			j := int(src)

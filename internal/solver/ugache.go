@@ -101,7 +101,7 @@ type gstate struct {
 	// routing-cost potential); w[i]: minimax weights.
 	t, score, w []float64
 	capLeft     []int64
-	host        platform.SourceID
+	fb          platform.SourceID // fallback source: host, or network on clusters
 }
 
 // moveItem is a heap entry: a candidate (block, gpu) with a possibly stale
@@ -150,10 +150,10 @@ func (u UGacheGreedy) Solve(in *Input) (*Placement, error) {
 	c := newCtx(in)
 	st := &gstate{
 		in:      in,
-		m:       newCostModel(in.P),
+		m:       newCostModel(in),
 		blocks:  c.build(),
 		capLeft: append([]int64(nil), in.Capacity...),
-		host:    in.P.Host(),
+		fb:      in.fallback(),
 	}
 	st.vol = make([][]float64, in.P.N)
 	for i := range st.vol {
@@ -163,11 +163,11 @@ func (u UGacheGreedy) Solve(in *Input) (*Placement, error) {
 	for i := range st.w {
 		st.w[i] = 1
 	}
-	// All blocks start on host.
+	// All blocks start on the fallback tier (host; network on clusters).
 	for bi := range st.blocks {
 		bytes := st.blocks[bi].Mass() * float64(in.EntryBytes)
 		for i := 0; i < in.P.N; i++ {
-			st.vol[i][st.host] += bytes
+			st.vol[i][st.fb] += bytes
 		}
 	}
 	st.t = st.m.times(st.vol)
@@ -239,9 +239,9 @@ func (u UGacheGreedy) Solve(in *Input) (*Placement, error) {
 // replicas, which the final FEM dedication relies on).
 func (st *gstate) bestSource(i, bi int) platform.SourceID {
 	b := &st.blocks[bi]
-	best := st.host
-	bestCost := st.m.perByteCost(i, st.host)
-	bestVol := st.vol[i][st.host]
+	best := st.fb
+	bestCost := st.m.perByteCost(i, st.fb)
+	bestVol := st.vol[i][st.fb]
 	for g := 0; g < st.in.P.N; g++ {
 		if !b.Store[g] || (g != i && !st.in.P.Connected(i, g)) {
 			continue

@@ -67,16 +67,19 @@ type BatchTrace struct {
 	// under an outgoing placement version were served inside the staleness
 	// window.
 	StaleBatches int64 `json:"stale_batches,omitempty"`
-	// Per-tier bytes moved, from the extractor's source-volume matrix.
-	LocalBytes  float64 `json:"local_bytes"`
-	RemoteBytes float64 `json:"remote_bytes"`
-	HostBytes   float64 `json:"host_bytes"`
+	// Per-tier bytes moved, from the extractor's source-volume matrix. The
+	// network tier is the cluster's remote-machine class; zero off-cluster.
+	LocalBytes   float64 `json:"local_bytes"`
+	RemoteBytes  float64 `json:"remote_bytes"`
+	HostBytes    float64 `json:"host_bytes"`
+	NetworkBytes float64 `json:"network_bytes,omitempty"`
 	// Per-tier modelled seconds (§6.2 serial estimate: bytes x time-per-
 	// byte; tiers overlap in the real schedule, so the parts may sum to
 	// more than SimSeconds).
-	LocalSeconds  float64 `json:"local_seconds"`
-	RemoteSeconds float64 `json:"remote_seconds"`
-	HostSeconds   float64 `json:"host_seconds"`
+	LocalSeconds   float64 `json:"local_seconds"`
+	RemoteSeconds  float64 `json:"remote_seconds"`
+	HostSeconds    float64 `json:"host_seconds"`
+	NetworkSeconds float64 `json:"network_seconds,omitempty"`
 }
 
 // DedupRatio is requested/unique keys (1.0 = no sharing across requests).

@@ -43,6 +43,11 @@ const (
 	// formation, plus shed instants, so the onset of overload lines up
 	// visually with the serve batch trees it throttles.
 	ProcOverload = 5
+	// ProcRouter holds the cluster front end's tracks, one tid per node:
+	// router queue-depth counter series plus scatter/gather dispatch spans,
+	// so cross-node fan-out lines up visually against the per-node serve
+	// trees it feeds.
+	ProcRouter = 6
 )
 
 // Conventional ProcControl thread IDs.
